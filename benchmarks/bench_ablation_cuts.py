@@ -1,0 +1,90 @@
+"""Ablation C — cut budget of the exact baseline reasoner.
+
+The exact reasoner (the "ABC" comparator of Fig. 7) prunes per-node cut
+lists to a priority budget.  This ablation sweeps the budget and reports
+detection completeness (against construction-trace ground truth) and
+runtime — demonstrating the budget at which the baseline becomes exact on
+multiplier netlists, and the cost of raising it further.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import keep_under_benchmark_only, FULL, bench_multiplier, emit, format_table
+from repro.reasoning import detect_xor_maj, extract_adder_tree
+from repro.utils.timing import Timer, format_seconds
+
+BUDGETS = (2, 4, 8, 12, 16) if FULL else (2, 4, 8, 12)
+WIDTH = 24 if FULL else 16
+
+
+@pytest.fixture(scope="module")
+def cut_series():
+    gen = bench_multiplier(WIDTH)
+    # Warm the memoized truth-expansion caches so the sweep measures the
+    # budget's cost, not first-touch cache population.
+    detect_xor_maj(gen.aig, max_cuts=4)
+    traced_sums = {a.sum_var for a in gen.trace.adders}
+    traced_carries = {a.carry_var for a in gen.trace.adders if a.kind == "FA"}
+    rows = []
+    for budget in BUDGETS:
+        with Timer() as timer:
+            detection = detect_xor_maj(gen.aig, max_cuts=budget)
+            tree = extract_adder_tree(gen.aig, detection)
+        sum_recall = sum(1 for v in traced_sums if detection.is_xor(v)) / len(traced_sums)
+        carry_recall = (
+            sum(1 for v in traced_carries if detection.is_maj(v)) / len(traced_carries)
+        )
+        rows.append(
+            {
+                "budget": budget,
+                "seconds": timer.elapsed,
+                "sum_recall": sum_recall,
+                "carry_recall": carry_recall,
+                "adders": len(tree.adders),
+            }
+        )
+    return rows
+
+
+def test_ablation_cuts_series(cut_series, benchmark):
+    keep_under_benchmark_only(benchmark)
+    table = [
+        [
+            f"C={r['budget']}",
+            format_seconds(r["seconds"]),
+            f"{100 * r['sum_recall']:.1f}%",
+            f"{100 * r['carry_recall']:.1f}%",
+            r["adders"],
+        ]
+        for r in cut_series
+    ]
+    emit(
+        "ablation_cuts",
+        format_table(
+            f"Ablation C: exact-reasoner cut budget on a {WIDTH}-bit CSA multiplier",
+            ["budget", "runtime", "XOR recall", "MAJ recall", "extracted adders"],
+            table,
+        ),
+    )
+
+
+def test_ablation_cuts_recall_saturates(cut_series, benchmark):
+    """A moderate budget recovers every traced root; tiny budgets miss some."""
+    keep_under_benchmark_only(benchmark)
+    final = cut_series[-1]
+    assert final["sum_recall"] == 1.0
+    assert final["carry_recall"] == 1.0
+
+
+def test_ablation_cuts_runtime_grows(cut_series, benchmark):
+    keep_under_benchmark_only(benchmark)
+    assert cut_series[-1]["seconds"] >= cut_series[0]["seconds"] * 0.8
+
+
+def test_ablation_cuts_kernel(benchmark):
+    gen = bench_multiplier(WIDTH)
+    benchmark.pedantic(
+        lambda: detect_xor_maj(gen.aig, max_cuts=8), rounds=2, iterations=1
+    )

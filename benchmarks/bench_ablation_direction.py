@@ -1,0 +1,69 @@
+"""Ablation A — message-passing direction of the aggregation operator.
+
+DESIGN.md calls out the neighborhood convention as a design choice: Boolean
+function information flows fan-in -> node, so aggregating over fan-ins
+should dominate fan-out or symmetric aggregation for this task.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import keep_under_benchmark_only, FULL, bench_multiplier, emit, format_table, percent
+from repro.core import Gamora
+from repro.learn import TrainConfig
+
+DIRECTIONS = ("in", "out", "both")
+EVAL_WIDTHS = (16, 32) if FULL else (16,)
+TRAIN_WIDTH = 8
+
+
+@pytest.fixture(scope="module")
+def direction_series():
+    series: dict[str, dict[int, float]] = {}
+    for direction in DIRECTIONS:
+        gamora = Gamora(
+            model="shallow",
+            direction=direction,
+            train_config=TrainConfig(epochs=250),
+        )
+        gamora.fit([bench_multiplier(TRAIN_WIDTH)], labels_source="structural")
+        series[direction] = {
+            w: gamora.evaluate(bench_multiplier(w), labels_source="structural")["mean"]
+            for w in EVAL_WIDTHS
+        }
+    return series
+
+
+def test_ablation_direction_series(direction_series, benchmark):
+    keep_under_benchmark_only(benchmark)
+    rows = [
+        [direction] + [percent(values[w]) for w in EVAL_WIDTHS]
+        for direction, values in direction_series.items()
+    ]
+    emit(
+        "ablation_direction",
+        format_table(
+            f"Ablation A: aggregation direction (trained on Mult{TRAIN_WIDTH}, CSA)",
+            ["direction"] + [f"{w}-bit" for w in EVAL_WIDTHS],
+            rows,
+        ),
+    )
+
+
+def test_ablation_fanin_dominates(direction_series, benchmark):
+    keep_under_benchmark_only(benchmark)
+    for width in EVAL_WIDTHS:
+        assert direction_series["in"][width] >= direction_series["out"][width] - 0.02, (
+            "fan-in aggregation should beat fan-out for Boolean reasoning"
+        )
+
+
+def test_ablation_direction_kernel(benchmark):
+    gamora = Gamora(model="shallow", direction="in",
+                    train_config=TrainConfig(epochs=30))
+    benchmark.pedantic(
+        lambda: gamora.fit([bench_multiplier(6)], labels_source="structural"),
+        rounds=1,
+        iterations=1,
+    )

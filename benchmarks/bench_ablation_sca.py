@@ -1,0 +1,95 @@
+"""Ablation B — the downstream payoff: SCA verification with adder trees.
+
+The paper motivates Gamora by the cost of adder-tree extraction inside
+algebraic multiplier verification.  This bench quantifies that payoff:
+naive gate-level backward rewriting vs adder-aware rewriting (exact tree)
+vs adder-aware rewriting with the tree *predicted by Gamora*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import keep_under_benchmark_only, FULL, bench_multiplier, emit, format_table, trained_gamora
+from repro.utils.timing import format_seconds
+from repro.verify import TermExplosion, verify_multiplier
+
+WIDTHS = (4, 6, 8, 12) if FULL else (4, 6, 8)
+NAIVE_BUDGET = 2_000_000
+
+
+@pytest.fixture(scope="module")
+def sca_series():
+    gamora = trained_gamora(train_widths=(8,))
+    rows = []
+    for width in WIDTHS:
+        gen = bench_multiplier(width)
+        smart = verify_multiplier(gen, mode="adder")
+        predicted_tree = gamora.reason(gen).tree
+        learned = verify_multiplier(gen, mode="adder", tree=predicted_tree)
+        try:
+            naive = verify_multiplier(gen, mode="naive", max_terms=NAIVE_BUDGET)
+            naive_cell = (
+                f"{format_seconds(naive.seconds)} / {naive.peak_terms}t"
+                + ("" if naive.ok else " (FAILED)")
+            )
+            naive_peak = naive.peak_terms
+        except TermExplosion:
+            naive_cell = f">budget ({NAIVE_BUDGET}t)"
+            naive_peak = NAIVE_BUDGET
+        rows.append(
+            {
+                "width": width,
+                "smart": smart,
+                "learned": learned,
+                "naive_cell": naive_cell,
+                "naive_peak": naive_peak,
+            }
+        )
+    return rows
+
+
+def test_ablation_sca_series(sca_series, benchmark):
+    keep_under_benchmark_only(benchmark)
+    table = [
+        [
+            f"{r['width']}-bit",
+            f"{format_seconds(r['smart'].seconds)} / {r['smart'].peak_terms}t",
+            f"{format_seconds(r['learned'].seconds)} / {r['learned'].peak_terms}t",
+            r["naive_cell"],
+        ]
+        for r in sca_series
+    ]
+    emit(
+        "ablation_sca",
+        format_table(
+            "Ablation B: SCA verification — exact tree vs Gamora tree vs naive",
+            ["design", "adder-aware (exact)", "adder-aware (Gamora)", "naive"],
+            table,
+        ),
+    )
+
+
+def test_ablation_sca_all_verify(sca_series, benchmark):
+    keep_under_benchmark_only(benchmark)
+    for row in sca_series:
+        assert row["smart"].ok
+        assert row["learned"].ok, (
+            f"{row['width']}-bit: Gamora-predicted tree must still verify"
+        )
+
+
+def test_ablation_sca_adder_tree_pays_off(sca_series, benchmark):
+    keep_under_benchmark_only(benchmark)
+    for row in sca_series:
+        assert row["smart"].peak_terms < row["naive_peak"], (
+            f"{row['width']}-bit: adder-aware rewriting should stay compact"
+        )
+
+
+def test_ablation_sca_kernel(benchmark):
+    gen = bench_multiplier(WIDTHS[-1])
+    result = benchmark.pedantic(
+        lambda: verify_multiplier(gen, mode="adder"), rounds=3, iterations=1
+    )
+    assert result.ok

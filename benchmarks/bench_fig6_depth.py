@@ -1,0 +1,91 @@
+"""Figure 6 — Booth multipliers: shallow vs deep models.
+
+Reproduces the paper's Fig. 6: radix-4 Booth-encoded multipliers are
+structurally more complex, so the shallow 4-layer/32-hidden model
+underperforms while the deep 8-layer/80-hidden model reaches high accuracy,
+and larger training multipliers are required than for CSA.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import keep_under_benchmark_only, FULL, bench_multiplier, emit, format_table, percent, trained_gamora
+from repro.learn import timed_inference
+
+TRAIN_WIDTHS = (8, 12, 16) if FULL else (8, 12)
+EVAL_WIDTHS = (16, 24, 32, 48) if FULL else (16, 24)
+
+
+@pytest.fixture(scope="module")
+def depth_series():
+    series: dict[str, dict[int, dict[int, float]]] = {}
+    for model in ("shallow", "deep"):
+        per_train: dict[int, dict[int, float]] = {}
+        for train_width in TRAIN_WIDTHS:
+            gamora = trained_gamora(
+                train_widths=(train_width,), kind="booth", model=model, epochs=600
+            )
+            per_train[train_width] = {
+                w: gamora.evaluate(
+                    bench_multiplier(w, "booth"), labels_source="functional"
+                )["mean"]
+                for w in EVAL_WIDTHS
+            }
+        series[model] = per_train
+    return series
+
+
+def test_fig6_series(depth_series, benchmark):
+    keep_under_benchmark_only(benchmark)
+    for model, per_train in depth_series.items():
+        rows = [
+            [f"Mult{t}"] + [percent(per_train[t][w]) for w in EVAL_WIDTHS]
+            for t in TRAIN_WIDTHS
+        ]
+        emit(
+            "fig6_depth",
+            format_table(
+                f"Fig.6: {model} model on Booth multipliers",
+                ["train \\ eval"] + [f"{w}-bit" for w in EVAL_WIDTHS],
+                rows,
+            ),
+        )
+
+
+def test_fig6_deep_model_wins(depth_series, benchmark):
+    keep_under_benchmark_only(benchmark)
+    top_train = TRAIN_WIDTHS[-1]
+    deep = depth_series["deep"][top_train]
+    shallow = depth_series["shallow"][top_train]
+    wins = sum(deep[w] >= shallow[w] - 0.01 for w in EVAL_WIDTHS)
+    assert wins >= len(EVAL_WIDTHS) - 1, (
+        f"deep model should dominate on Booth: deep={deep}, shallow={shallow}"
+    )
+
+
+def test_fig6_larger_training_helps(depth_series, benchmark):
+    """Paper: Booth needs larger training multipliers than CSA."""
+    keep_under_benchmark_only(benchmark)
+    deep = depth_series["deep"]
+    first, last = TRAIN_WIDTHS[0], TRAIN_WIDTHS[-1]
+    improvements = sum(deep[last][w] >= deep[first][w] - 0.01 for w in EVAL_WIDTHS)
+    assert improvements >= len(EVAL_WIDTHS) - 1
+
+
+def test_fig6_deep_accuracy_level(depth_series, benchmark):
+    """Paper: deep model reaches >97% on Booth; allow margin for CPU-scale
+    training budgets."""
+    keep_under_benchmark_only(benchmark)
+    top_train = TRAIN_WIDTHS[-1]
+    assert max(depth_series["deep"][top_train].values()) > 0.93
+
+
+def test_fig6_inference_kernel(benchmark):
+    gamora = trained_gamora(train_widths=(TRAIN_WIDTHS[-1],), kind="booth",
+                            model="deep", epochs=600)
+    data = gamora.prepare(bench_multiplier(EVAL_WIDTHS[-1], "booth"),
+                          with_labels=False)
+    benchmark.pedantic(
+        lambda: timed_inference(gamora.net, data), rounds=3, iterations=1
+    )

@@ -1,0 +1,119 @@
+"""Figure 7 — runtime and scalability: Gamora inference vs exact reasoning.
+
+Reproduces the paper's Fig. 7: wall-clock of the conventional exact
+adder-tree extraction (our cut-enumeration reasoner, standing in for ABC)
+against Gamora's GNN inference, across growing CSA multiplier widths, with
+|V|/|E| annotations.  The claim is not the absolute gap (paper: up to 10^6x
+on an A100) but its *shape*: the learned path is orders of magnitude faster
+and the gap widens with size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import keep_under_benchmark_only, FULL, bench_multiplier, emit, format_table, trained_gamora
+from repro.learn import timed_inference
+from repro.reasoning import detect_xor_maj, extract_adder_tree
+from repro.utils.timing import Timer, format_seconds
+
+WIDTHS = (16, 32, 64, 128, 256) if FULL else (16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def runtime_series():
+    from repro.learn import compile_inference
+
+    gamora = trained_gamora(train_widths=(8,))
+    kernel = compile_inference(gamora.net)
+    rows = []
+    for width in WIDTHS:
+        gen = bench_multiplier(width)
+        with Timer() as exact_timer:
+            detection = detect_xor_maj(gen.aig)
+            extract_adder_tree(gen.aig, detection)
+        data = gamora.prepare(gen, with_labels=False)
+        # Best of three: shared-machine noise is large relative to ms-scale
+        # inference, while the exact baseline runs for seconds.
+        inference_seconds = min(
+            timed_inference(kernel, data).seconds for _ in range(3)
+        )
+        rows.append(
+            {
+                "width": width,
+                "nodes": gen.aig.num_vars,
+                "edges": gen.aig.num_edges,
+                "exact": exact_timer.elapsed,
+                "gamora": inference_seconds,
+                "speedup": exact_timer.elapsed / max(inference_seconds, 1e-9),
+            }
+        )
+    return rows
+
+
+def test_fig7_series(runtime_series, benchmark):
+    keep_under_benchmark_only(benchmark)
+    table = [
+        [
+            f"{r['width']}-bit",
+            f"{r['nodes']:.1e}",
+            f"{r['edges']:.1e}",
+            format_seconds(r["exact"]),
+            format_seconds(r["gamora"]),
+            f"{r['speedup']:.0f}x",
+        ]
+        for r in runtime_series
+    ]
+    emit(
+        "fig7_runtime",
+        format_table(
+            "Fig.7: exact reasoning (ABC-equivalent) vs Gamora inference, CSA",
+            ["design", "|V|", "|E|", "exact", "gamora", "speedup"],
+            table,
+        ),
+    )
+
+
+def test_fig7_gamora_is_faster(runtime_series, benchmark):
+    keep_under_benchmark_only(benchmark)
+    for row in runtime_series:
+        assert row["speedup"] > 5, (
+            f"{row['width']}-bit: learned inference should be clearly faster, "
+            f"got {row['speedup']:.1f}x"
+        )
+    assert runtime_series[-1]["speedup"] > 10
+
+
+def test_fig7_gap_does_not_collapse(runtime_series, benchmark):
+    """Both of our paths are (by construction) near-linear on CPU, so the
+    paper's *growing* gap — driven by ABC's superlinear blowup and GPU
+    parallelism — appears here as a stable one-to-two order-of-magnitude
+    gap across sizes (see EXPERIMENTS.md).  Guard against collapse."""
+    keep_under_benchmark_only(benchmark)
+    assert runtime_series[-1]["speedup"] > 0.1 * runtime_series[0]["speedup"]
+
+
+def test_fig7_runtime_tracks_graph_size(runtime_series, benchmark):
+    """Gamora's runtime is near-linear in |V|+|E| (paper Sec. IV-C)."""
+    keep_under_benchmark_only(benchmark)
+    first, last = runtime_series[0], runtime_series[-1]
+    size_ratio = (last["nodes"] + last["edges"]) / (first["nodes"] + first["edges"])
+    time_ratio = last["gamora"] / max(first["gamora"], 1e-9)
+    assert time_ratio < size_ratio * 8, (
+        f"inference time grew {time_ratio:.1f}x for a {size_ratio:.1f}x larger graph"
+    )
+
+
+def test_fig7_inference_kernel(benchmark):
+    gamora = trained_gamora(train_widths=(8,))
+    data = gamora.prepare(bench_multiplier(WIDTHS[-1]), with_labels=False)
+    benchmark.pedantic(
+        lambda: timed_inference(gamora.net, data), rounds=3, iterations=1
+    )
+
+
+def test_fig7_exact_kernel(benchmark):
+    gen = bench_multiplier(WIDTHS[0])
+    benchmark.pedantic(
+        lambda: extract_adder_tree(gen.aig), rounds=2, iterations=1
+    )

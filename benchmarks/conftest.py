@@ -1,0 +1,6 @@
+"""Benchmark collection setup: ensure the benchmarks dir is importable."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Runtime scaling: exact symbolic reasoning vs learned inference (Fig. 7).
+
+Run:  python examples/scalability_runtime.py [--widths 16 32 64]
+
+Trains once on an 8-bit multiplier, then sweeps evaluation widths and
+prints the |V|/|E|-annotated runtime comparison of the paper's Fig. 7:
+the exact cut-enumeration reasoner (the ABC stand-in) against the compiled
+GNN inference kernel.
+"""
+
+import argparse
+
+from repro.core import Gamora
+from repro.generators import csa_multiplier
+from repro.learn import TrainConfig, compile_inference, timed_inference
+from repro.reasoning import detect_xor_maj, extract_adder_tree
+from repro.utils.timing import Timer, format_seconds
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--widths", type=int, nargs="+", default=[16, 32, 64])
+    parser.add_argument("--train-width", type=int, default=8)
+    args = parser.parse_args()
+
+    print(f"== training on mult{args.train_width} ==")
+    gamora = Gamora(model="shallow", train_config=TrainConfig(epochs=250))
+    gamora.fit([csa_multiplier(args.train_width)])
+    kernel = compile_inference(gamora.net)
+
+    header = f"{'design':>10} {'|V|':>10} {'|E|':>10} {'exact':>12} {'gamora':>12} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for width in args.widths:
+        gen = csa_multiplier(width)
+        with Timer() as exact_timer:
+            extract_adder_tree(gen.aig, detect_xor_maj(gen.aig))
+        data = gamora.prepare(gen, with_labels=False)
+        result = timed_inference(kernel, data)
+        speedup = exact_timer.elapsed / max(result.seconds, 1e-9)
+        print(
+            f"{width:>8}-b {gen.aig.num_vars:>10,} {gen.aig.num_edges:>10,} "
+            f"{format_seconds(exact_timer.elapsed):>12} "
+            f"{format_seconds(result.seconds):>12} {speedup:>7.0f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Gamora reproduction: graph-learning based symbolic reasoning for Boolean networks.
+
+Top-level convenience re-exports; see subpackages for the full API:
+
+* :mod:`repro.aig` — And-Inverter Graph substrate (I/O, simulation, cuts, NPN)
+* :mod:`repro.generators` — CSA / Booth multiplier benchmark generators
+* :mod:`repro.reasoning` — exact cut-based XOR/MAJ reasoning (the ABC baseline)
+* :mod:`repro.techmap` — standard-cell technology mapping substrate
+* :mod:`repro.nn` — NumPy autodiff + GraphSAGE
+* :mod:`repro.learn` — features, labels, datasets, training
+* :mod:`repro.core` — the Gamora end-to-end API
+* :mod:`repro.verify` — SCA multiplier verification (downstream application)
+"""
+
+__version__ = "1.0.0"
+
+from repro.aig import AIG
+from repro.generators import booth_multiplier, csa_multiplier, make_multiplier
+
+__all__ = ["AIG", "booth_multiplier", "csa_multiplier", "make_multiplier", "__version__"]

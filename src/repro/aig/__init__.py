@@ -1,0 +1,80 @@
+"""And-Inverter Graph substrate: data structure, I/O, simulation, cuts, NPN.
+
+This package is the Boolean-network foundation the whole reproduction rests
+on — the role ABC's AIG package plays for the original Gamora.
+"""
+
+from repro.aig.graph import AIG, CONST0, CONST1, lit_neg, lit_not, lit_var, make_lit
+from repro.aig.aiger import dumps_aag, loads_aag, read_aiger, write_aag, write_aig
+from repro.aig.simulate import (
+    evaluate_bits,
+    exhaustive_patterns,
+    exhaustive_simulate,
+    random_simulate,
+    simulate,
+    simulation_equivalent,
+)
+from repro.aig.cuts import Cut, enumerate_cuts, node_cuts
+from repro.aig.truth import (
+    expand_truth,
+    truth_from_function,
+    truth_mask,
+    truth_support,
+    var_truth,
+)
+from repro.aig.transform import cleanup, compose, extract_cone, miter
+from repro.aig.npn import (
+    AND2,
+    MAJ3,
+    XOR2,
+    XOR3,
+    all_npn_transforms,
+    apply_transform,
+    is_maj_truth,
+    is_xor_truth,
+    npn_canon,
+    npn_class,
+)
+
+__all__ = [
+    "AIG",
+    "cleanup",
+    "compose",
+    "extract_cone",
+    "miter",
+    "CONST0",
+    "CONST1",
+    "lit_neg",
+    "lit_not",
+    "lit_var",
+    "make_lit",
+    "dumps_aag",
+    "loads_aag",
+    "read_aiger",
+    "write_aag",
+    "write_aig",
+    "evaluate_bits",
+    "exhaustive_patterns",
+    "exhaustive_simulate",
+    "random_simulate",
+    "simulate",
+    "simulation_equivalent",
+    "Cut",
+    "enumerate_cuts",
+    "node_cuts",
+    "expand_truth",
+    "truth_from_function",
+    "truth_mask",
+    "truth_support",
+    "var_truth",
+    "AND2",
+    "MAJ3",
+    "XOR2",
+    "XOR3",
+    "all_npn_transforms",
+    "apply_transform",
+    "is_maj_truth",
+    "is_xor_truth",
+    "npn_canon",
+    "npn_class",
+]

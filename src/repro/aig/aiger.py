@@ -1,0 +1,206 @@
+"""Reader/writer for the AIGER interchange format (ASCII ``.aag`` and
+binary ``.aig``), combinational subset.
+
+The paper's pipeline consumes AIGs produced by ABC; this module lets the
+reproduction exchange netlists with ABC or any AIGER-speaking tool.  Only
+combinational networks are supported (no latches), which covers every
+benchmark in the paper.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.aig.graph import AIG, lit_neg, lit_not, lit_var
+
+__all__ = ["write_aag", "write_aig", "read_aiger", "dumps_aag", "loads_aag"]
+
+
+def dumps_aag(aig: AIG) -> str:
+    """Serialize to the ASCII AIGER format as a string."""
+    max_var = aig.num_vars - 1
+    lines = [f"aag {max_var} {aig.num_inputs} 0 {aig.num_outputs} {aig.num_ands}"]
+    for var in aig.input_vars():
+        lines.append(str(2 * var))
+    for lit in aig.outputs:
+        lines.append(str(lit))
+    for var, f0, f1 in aig.iter_ands():
+        # AIGER requires rhs0 >= rhs1; AIG normalizes f0 <= f1.
+        lines.append(f"{2 * var} {f1} {f0}")
+    for index, name in enumerate(aig.input_names):
+        lines.append(f"i{index} {name}")
+    for index, name in enumerate(aig.output_names):
+        lines.append(f"o{index} {name}")
+    lines.append("c")
+    lines.append(aig.name)
+    return "\n".join(lines) + "\n"
+
+
+def write_aag(aig: AIG, path: str | Path) -> None:
+    """Write the ASCII ``.aag`` format."""
+    Path(path).write_text(dumps_aag(aig))
+
+
+def _encode_varint(value: int) -> bytes:
+    """AIGER's LEB128-style delta encoding."""
+    out = bytearray()
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return bytes(out)
+
+
+def _decode_varint(stream: io.BufferedIOBase) -> int:
+    value = 0
+    shift = 0
+    while True:
+        byte = stream.read(1)
+        if not byte:
+            raise ValueError("truncated binary AIGER file")
+        part = byte[0]
+        value |= (part & 0x7F) << shift
+        if not part & 0x80:
+            return value
+        shift += 7
+
+
+def write_aig(aig: AIG, path: str | Path) -> None:
+    """Write the binary ``.aig`` format (delta-encoded ANDs)."""
+    max_var = aig.num_vars - 1
+    with open(path, "wb") as stream:
+        header = f"aig {max_var} {aig.num_inputs} 0 {aig.num_outputs} {aig.num_ands}\n"
+        stream.write(header.encode("ascii"))
+        for lit in aig.outputs:
+            stream.write(f"{lit}\n".encode("ascii"))
+        for var, f0, f1 in aig.iter_ands():
+            lhs = 2 * var
+            rhs0, rhs1 = max(f0, f1), min(f0, f1)
+            stream.write(_encode_varint(lhs - rhs0))
+            stream.write(_encode_varint(rhs0 - rhs1))
+        symbols = [f"i{k} {name}\n" for k, name in enumerate(aig.input_names)]
+        symbols += [f"o{k} {name}\n" for k, name in enumerate(aig.output_names)]
+        stream.write("".join(symbols).encode("ascii"))
+        stream.write(f"c\n{aig.name}\n".encode("ascii"))
+
+
+def loads_aag(text: str, name: str = "aig") -> AIG:
+    """Parse ASCII AIGER text into an :class:`AIG` (re-strashed)."""
+    lines = text.splitlines()
+    if not lines:
+        raise ValueError("empty AIGER input")
+    return _parse_ascii(lines, name)
+
+
+def read_aiger(path: str | Path, name: str | None = None) -> AIG:
+    """Read a ``.aag`` or ``.aig`` file, auto-detected from the header."""
+    data = Path(path).read_bytes()
+    title = name if name is not None else Path(path).stem
+    if data.startswith(b"aag"):
+        return _parse_ascii(data.decode("ascii").splitlines(), title)
+    if data.startswith(b"aig"):
+        return _parse_binary(data, title)
+    raise ValueError(f"{path}: not an AIGER file (header {data[:3]!r})")
+
+
+def _parse_header(line: str) -> tuple[int, int, int, int, int]:
+    parts = line.split()
+    if len(parts) != 6 or parts[0] not in ("aag", "aig"):
+        raise ValueError(f"malformed AIGER header: {line!r}")
+    max_var, num_in, num_latch, num_out, num_and = (int(p) for p in parts[1:])
+    if num_latch:
+        raise ValueError("sequential AIGER (latches) is not supported")
+    return max_var, num_in, num_latch, num_out, num_and
+
+
+def _apply_symbols(aig: AIG, lines: list[str], input_map: dict[int, int]) -> None:
+    names_in = dict(enumerate(aig.input_names))
+    names_out = dict(enumerate(aig.output_names))
+    for line in lines:
+        if line.startswith("c"):
+            break
+        if not line or line[0] not in "io":
+            continue
+        kind = line[0]
+        head, _, symbol = line[1:].partition(" ")
+        if not head.isdigit() or not symbol:
+            continue
+        index = int(head)
+        if kind == "i" and index in names_in:
+            names_in[index] = symbol
+        elif kind == "o" and index in names_out:
+            names_out[index] = symbol
+    aig._input_names = [names_in[k] for k in sorted(names_in)]
+    aig._output_names = [names_out[k] for k in sorted(names_out)]
+
+
+def _translate(lit: int, lit_map: dict[int, int]) -> int:
+    var_lit = lit_map.get(lit & ~1)
+    if var_lit is None:
+        raise ValueError(f"literal {lit} used before definition")
+    return lit_not(var_lit) if lit & 1 else var_lit
+
+
+def _parse_ascii(lines: list[str], name: str) -> AIG:
+    max_var, num_in, _latches, num_out, num_and = _parse_header(lines[0])
+    aig = AIG(name=name)
+    lit_map: dict[int, int] = {0: 0}
+    cursor = 1
+    for _ in range(num_in):
+        file_lit = int(lines[cursor].split()[0])
+        lit_map[file_lit & ~1] = aig.add_input()
+        cursor += 1
+    output_lits = []
+    for _ in range(num_out):
+        output_lits.append(int(lines[cursor].split()[0]))
+        cursor += 1
+    for _ in range(num_and):
+        lhs, rhs0, rhs1 = (int(p) for p in lines[cursor].split())
+        cursor += 1
+        lit_map[lhs & ~1] = aig.add_and(
+            _translate(rhs0, lit_map), _translate(rhs1, lit_map)
+        )
+    for lit in output_lits:
+        aig.add_output(_translate(lit, lit_map))
+    _apply_symbols(aig, lines[cursor:], lit_map)
+    return aig
+
+
+def _parse_binary(data: bytes, name: str) -> AIG:
+    stream = io.BytesIO(data)
+    header = b""
+    while not header.endswith(b"\n"):
+        byte = stream.read(1)
+        if not byte:
+            raise ValueError("truncated binary AIGER header")
+        header += byte
+    max_var, num_in, _latches, num_out, num_and = _parse_header(header.decode("ascii"))
+
+    aig = AIG(name=name)
+    lit_map: dict[int, int] = {0: 0}
+    for index in range(num_in):
+        # Binary AIGER fixes input literals to 2, 4, ..., 2 * num_in.
+        lit_map[2 * (index + 1)] = aig.add_input()
+
+    output_lits = []
+    for _ in range(num_out):
+        line = b""
+        while not line.endswith(b"\n"):
+            line += stream.read(1)
+        output_lits.append(int(line.strip()))
+
+    for index in range(num_and):
+        lhs = 2 * (num_in + index + 1)
+        delta0 = _decode_varint(stream)
+        delta1 = _decode_varint(stream)
+        rhs0 = lhs - delta0
+        rhs1 = rhs0 - delta1
+        lit_map[lhs] = aig.add_and(
+            _translate(rhs0, lit_map), _translate(rhs1, lit_map)
+        )
+    for lit in output_lits:
+        aig.add_output(_translate(lit, lit_map))
+    rest = stream.read().decode("ascii", errors="replace").splitlines()
+    _apply_symbols(aig, rest, lit_map)
+    return aig

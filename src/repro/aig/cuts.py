@@ -1,0 +1,194 @@
+"""K-feasible cut enumeration with on-the-fly cut functions.
+
+A *cut* of node ``n`` is a set of nodes whose values completely determine
+``n`` (Sec. II-A of the paper).  Cuts are the unit of functional matching in
+both the exact reasoner (detecting XOR3/MAJ3 roots) and the technology
+mapper.  We implement the standard bottom-up merge with *priority cuts*:
+per-node cut lists are deduplicated, dominance-filtered and truncated to a
+budget, which bounds runtime on multi-million-node networks.
+
+Every cut carries the truth table of its root expressed over the cut leaves
+(in the root's positive polarity), computed incrementally during the merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aig.graph import AIG, lit_neg, lit_var
+from repro.aig.truth import expand_truth, truth_mask
+
+__all__ = ["Cut", "CutSet", "enumerate_cuts", "node_cuts"]
+
+TRIVIAL_TRUTH = 0b10  # function "x" of the single leaf
+
+
+@dataclass(frozen=True)
+class Cut:
+    """An immutable cut: sorted leaf variables plus the root's cut function."""
+
+    leaves: tuple[int, ...]
+    truth: int
+
+    @property
+    def size(self) -> int:
+        return len(self.leaves)
+
+    def dominates(self, other: "Cut") -> bool:
+        """True when this cut's leaves are a subset of ``other``'s."""
+        return set(self.leaves) <= set(other.leaves)
+
+    def __repr__(self) -> str:
+        return f"Cut({self.leaves}, truth=0x{self.truth:x})"
+
+
+CutSet = list[Cut]
+
+
+def _merge_leaves(a: tuple[int, ...], b: tuple[int, ...], k: int) -> tuple[int, ...] | None:
+    """Sorted union of two sorted leaf tuples, or None when larger than ``k``."""
+    if a == b:
+        return a
+    merged: list[int] = []
+    i = j = 0
+    len_a, len_b = len(a), len(b)
+    while i < len_a and j < len_b:
+        va, vb = a[i], b[j]
+        if va == vb:
+            merged.append(va)
+            i += 1
+            j += 1
+        elif va < vb:
+            merged.append(va)
+            i += 1
+        else:
+            merged.append(vb)
+            j += 1
+        if len(merged) > k:
+            return None
+    rest = a[i:] if i < len_a else b[j:]
+    if len(merged) + len(rest) > k:
+        return None
+    merged.extend(rest)
+    return tuple(merged)
+
+
+def _positions(sub: tuple[int, ...], full: tuple[int, ...]) -> tuple[int, ...]:
+    """Position of each element of ``sub`` inside ``full`` (both sorted)."""
+    pos = []
+    j = 0
+    for leaf in sub:
+        while full[j] != leaf:
+            j += 1
+        pos.append(j)
+    return tuple(pos)
+
+
+def _filter_and_rank(cuts: list[Cut], max_cuts: int) -> list[Cut]:
+    """Deduplicate, remove dominated cuts, rank by size, truncate."""
+    unique: dict[tuple[int, ...], Cut] = {}
+    for cut in cuts:
+        unique.setdefault(cut.leaves, cut)
+    items = sorted(unique.values(), key=lambda c: (c.size, c.leaves))
+    kept: list[Cut] = []
+    for cut in items:
+        if any(existing.dominates(cut) for existing in kept):
+            continue
+        kept.append(cut)
+        if len(kept) >= max_cuts:
+            break
+    return kept
+
+
+def enumerate_cuts(aig: AIG, k: int = 3, max_cuts: int = 8,
+                   include_trivial: bool = True) -> list[CutSet]:
+    """Enumerate up to ``max_cuts`` ``k``-feasible cuts for every variable.
+
+    Returns a list indexed by variable; PIs and the constant get only their
+    trivial cut.  The trivial cut of each AND node is appended after the
+    ranked non-trivial cuts (it is required for merging at fan-outs but is
+    never interesting for matching).
+    """
+    if k < 2:
+        raise ValueError("cut size k must be at least 2")
+    num_vars = aig.num_vars
+    all_cuts: list[CutSet] = [[] for _ in range(num_vars)]
+    all_cuts[0] = [Cut((0,), TRIVIAL_TRUTH)]  # constant node (never referenced)
+    for var in aig.input_vars():
+        all_cuts[var] = [Cut((var,), TRIVIAL_TRUTH)]
+
+    for var, f0, f1 in aig.iter_ands():
+        v0, v1 = lit_var(f0), lit_var(f1)
+        n0, n1 = lit_neg(f0), lit_neg(f1)
+        merged: list[Cut] = []
+        for c0 in all_cuts[v0]:
+            for c1 in all_cuts[v1]:
+                leaves = _merge_leaves(c0.leaves, c1.leaves, k)
+                if leaves is None:
+                    continue
+                width = len(leaves)
+                mask = truth_mask(width)
+                t0 = expand_truth(c0.truth, _positions(c0.leaves, leaves), width)
+                t1 = expand_truth(c1.truth, _positions(c1.leaves, leaves), width)
+                if n0:
+                    t0 = ~t0 & mask
+                if n1:
+                    t1 = ~t1 & mask
+                merged.append(Cut(leaves, t0 & t1))
+        kept = _filter_and_rank(merged, max_cuts)
+        if include_trivial:
+            kept.append(Cut((var,), TRIVIAL_TRUTH))
+        all_cuts[var] = kept
+    return all_cuts
+
+
+def node_cuts(aig: AIG, var: int, k: int = 3, max_cuts: int = 8,
+              depth_limit: int = 6) -> CutSet:
+    """Cuts of a single node, computed over a depth-bounded local cone.
+
+    Used by the post-processor, which re-derives cuts locally around nodes
+    the GNN flagged instead of enumerating the whole network.  Nodes more
+    than ``depth_limit`` levels below ``var`` are treated as cut leaves —
+    sound for XOR/MAJ verification, whose structures span at most four
+    levels, and it keeps the per-node cost constant instead of cone-sized.
+    """
+    depth: dict[int, int] = {var: 0}
+    frontier = [var]
+    while frontier:
+        current = frontier.pop()
+        level = depth[current]
+        if level >= depth_limit or not aig.is_and(current):
+            continue
+        f0, f1 = aig.fanins(current)
+        for child in (lit_var(f0), lit_var(f1)):
+            if child not in depth or depth[child] > level + 1:
+                depth[child] = level + 1
+                frontier.append(child)
+    cone = sorted(depth)
+    cuts: dict[int, CutSet] = {}
+    for cone_var in cone:
+        if not aig.is_and(cone_var) or depth[cone_var] >= depth_limit:
+            cuts[cone_var] = [Cut((cone_var,), TRIVIAL_TRUTH)]
+            continue
+        f0, f1 = aig.fanins(cone_var)
+        v0, v1 = lit_var(f0), lit_var(f1)
+        n0, n1 = lit_neg(f0), lit_neg(f1)
+        merged: list[Cut] = []
+        for c0 in cuts[v0]:
+            for c1 in cuts[v1]:
+                leaves = _merge_leaves(c0.leaves, c1.leaves, k)
+                if leaves is None:
+                    continue
+                width = len(leaves)
+                mask = truth_mask(width)
+                t0 = expand_truth(c0.truth, _positions(c0.leaves, leaves), width)
+                t1 = expand_truth(c1.truth, _positions(c1.leaves, leaves), width)
+                if n0:
+                    t0 = ~t0 & mask
+                if n1:
+                    t1 = ~t1 & mask
+                merged.append(Cut(leaves, t0 & t1))
+        kept = _filter_and_rank(merged, max_cuts)
+        kept.append(Cut((cone_var,), TRIVIAL_TRUTH))
+        cuts[cone_var] = kept
+    return cuts[var]

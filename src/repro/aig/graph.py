@@ -1,0 +1,359 @@
+"""And-Inverter Graph (AIG) core data structure.
+
+An AIG is the uniform Boolean-network representation used throughout the
+paper: every internal node is a two-input AND gate and edges may be
+complemented (inverters).  We follow the AIGER literal convention:
+
+* a *variable* is an integer index; variable ``0`` is the constant FALSE;
+* a *literal* is ``2 * var + neg`` where ``neg`` is 1 when the edge is
+  complemented, so literal ``0`` is constant false and literal ``1`` constant
+  true;
+* primary inputs occupy variables ``1 .. num_inputs`` and AND nodes follow,
+  which makes the variable order a topological order by construction.
+
+The class performs constant folding and structural hashing (*strash*) on the
+fly, mirroring ABC's ``strash``: an AND over the same (normalized) literal
+pair is created only once, and trivial ANDs fold to existing literals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "AIG",
+    "lit_var",
+    "lit_neg",
+    "lit_not",
+    "make_lit",
+    "CONST0",
+    "CONST1",
+]
+
+CONST0 = 0  # literal: constant false
+CONST1 = 1  # literal: constant true
+
+
+def make_lit(var: int, neg: bool | int = 0) -> int:
+    """Build a literal from a variable index and a complement flag."""
+    return 2 * var + int(bool(neg))
+
+
+def lit_var(lit: int) -> int:
+    """Variable index of a literal."""
+    return lit >> 1
+
+
+def lit_neg(lit: int) -> int:
+    """1 if the literal is complemented, else 0."""
+    return lit & 1
+
+
+def lit_not(lit: int) -> int:
+    """Complement a literal."""
+    return lit ^ 1
+
+
+class AIG:
+    """A combinational And-Inverter Graph with structural hashing.
+
+    Typical construction::
+
+        aig = AIG(name="toy")
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        aig.add_output(aig.add_xor(a, b), "y")
+
+    Variables are topologically ordered (fan-ins of a node always have
+    smaller variable indices), so iterating ``aig.and_vars()`` visits nodes
+    in a valid evaluation order.
+    """
+
+    def __init__(self, name: str = "aig") -> None:
+        self.name = name
+        # Parallel arrays indexed by variable; entry 0 is the constant node.
+        # For PIs and the constant, fan-in literals are stored as -1.
+        self._fanin0: list[int] = [-1]
+        self._fanin1: list[int] = [-1]
+        self._num_inputs = 0
+        self._input_names: list[str] = []
+        self._outputs: list[int] = []  # literals
+        self._output_names: list[str] = []
+        self._strash: dict[tuple[int, int], int] = {}
+        self._levels: list[int] | None = None  # lazy cache
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str | None = None) -> int:
+        """Create a primary input and return its (positive) literal.
+
+        Inputs must be created before any AND node so that variables stay
+        topologically ordered in the AIGER convention.
+        """
+        if self.num_ands:
+            raise ValueError("all primary inputs must be created before AND nodes")
+        self._num_inputs += 1
+        var = len(self._fanin0)
+        self._fanin0.append(-1)
+        self._fanin1.append(-1)
+        self._input_names.append(name if name is not None else f"i{self._num_inputs - 1}")
+        return make_lit(var)
+
+    def add_inputs(self, count: int, prefix: str = "i") -> list[int]:
+        """Create ``count`` primary inputs named ``prefix0 .. prefix{count-1}``."""
+        return [self.add_input(f"{prefix}{k}") for k in range(count)]
+
+    def add_and(self, a: int, b: int) -> int:
+        """AND of two literals with constant folding and structural hashing."""
+        self._check_lit(a)
+        self._check_lit(b)
+        # Constant folding.
+        if a == CONST0 or b == CONST0 or a == lit_not(b):
+            return CONST0
+        if a == CONST1:
+            return b
+        if b == CONST1 or a == b:
+            return a
+        if a > b:
+            a, b = b, a
+        key = (a, b)
+        existing = self._strash.get(key)
+        if existing is not None:
+            return make_lit(existing)
+        var = len(self._fanin0)
+        self._fanin0.append(a)
+        self._fanin1.append(b)
+        self._strash[key] = var
+        self._levels = None
+        return make_lit(var)
+
+    def add_output(self, lit: int, name: str | None = None) -> None:
+        """Register a primary output driven by ``lit``."""
+        self._check_lit(lit)
+        self._outputs.append(lit)
+        self._output_names.append(name if name is not None else f"o{len(self._outputs) - 1}")
+
+    # Derived gates -----------------------------------------------------
+    def add_not(self, a: int) -> int:
+        """Inversion is free in an AIG: just complement the literal."""
+        return lit_not(a)
+
+    def add_or(self, a: int, b: int) -> int:
+        return lit_not(self.add_and(lit_not(a), lit_not(b)))
+
+    def add_nand(self, a: int, b: int) -> int:
+        return lit_not(self.add_and(a, b))
+
+    def add_nor(self, a: int, b: int) -> int:
+        return self.add_and(lit_not(a), lit_not(b))
+
+    def add_xor(self, a: int, b: int) -> int:
+        """XOR via the standard 3-AND decomposition ``(a·¬b) + (¬a·b)``."""
+        return self.add_or(self.add_and(a, lit_not(b)), self.add_and(lit_not(a), b))
+
+    def add_xnor(self, a: int, b: int) -> int:
+        return lit_not(self.add_xor(a, b))
+
+    def add_mux(self, sel: int, then_lit: int, else_lit: int) -> int:
+        """``sel ? then_lit : else_lit``."""
+        return self.add_or(self.add_and(sel, then_lit), self.add_and(lit_not(sel), else_lit))
+
+    def add_maj3(self, a: int, b: int, c: int) -> int:
+        """Majority-of-three as ``a·b + c·(a+b)`` (the carry-out form)."""
+        return self.add_or(self.add_and(a, b), self.add_and(c, self.add_or(a, b)))
+
+    def add_and_multi(self, lits: Iterable[int]) -> int:
+        """Balanced AND over arbitrarily many literals."""
+        items = list(lits)
+        if not items:
+            return CONST1
+        while len(items) > 1:
+            items = [
+                self.add_and(items[k], items[k + 1]) if k + 1 < len(items) else items[k]
+                for k in range(0, len(items), 2)
+            ]
+        return items[0]
+
+    def add_or_multi(self, lits: Iterable[int]) -> int:
+        """Balanced OR over arbitrarily many literals."""
+        return lit_not(self.add_and_multi(lit_not(x) for x in lits))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        """Number of variables including the constant node."""
+        return len(self._fanin0)
+
+    @property
+    def num_inputs(self) -> int:
+        return self._num_inputs
+
+    @property
+    def num_ands(self) -> int:
+        return len(self._fanin0) - 1 - self._num_inputs
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self._outputs)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of AND fan-in edges (two per AND node)."""
+        return 2 * self.num_ands
+
+    @property
+    def outputs(self) -> list[int]:
+        """Output literals, in declaration order."""
+        return list(self._outputs)
+
+    @property
+    def output_names(self) -> list[str]:
+        return list(self._output_names)
+
+    @property
+    def input_names(self) -> list[str]:
+        return list(self._input_names)
+
+    def input_vars(self) -> range:
+        """Variable indices of the primary inputs."""
+        return range(1, 1 + self._num_inputs)
+
+    def input_lit(self, index: int) -> int:
+        """Literal of the ``index``-th primary input."""
+        if not 0 <= index < self._num_inputs:
+            raise IndexError(f"input index {index} out of range")
+        return make_lit(1 + index)
+
+    def and_vars(self) -> range:
+        """Variable indices of AND nodes, in topological order."""
+        return range(1 + self._num_inputs, self.num_vars)
+
+    def is_const(self, var: int) -> bool:
+        return var == 0
+
+    def is_input(self, var: int) -> bool:
+        return 1 <= var <= self._num_inputs
+
+    def is_and(self, var: int) -> bool:
+        return var > self._num_inputs and var < self.num_vars
+
+    def fanin0(self, var: int) -> int:
+        """First fan-in literal of an AND variable."""
+        if not self.is_and(var):
+            raise ValueError(f"variable {var} is not an AND node")
+        return self._fanin0[var]
+
+    def fanin1(self, var: int) -> int:
+        """Second fan-in literal of an AND variable."""
+        if not self.is_and(var):
+            raise ValueError(f"variable {var} is not an AND node")
+        return self._fanin1[var]
+
+    def fanins(self, var: int) -> tuple[int, int]:
+        """Both fan-in literals of an AND variable."""
+        return self.fanin0(var), self.fanin1(var)
+
+    def find_and(self, a: int, b: int) -> int | None:
+        """Return the existing AND literal over ``(a, b)`` or None.
+
+        Performs the same normalization as :meth:`add_and` but never creates
+        a node; used by the reasoning code to locate half-adder carries.
+        """
+        if a > b:
+            a, b = b, a
+        var = self._strash.get((a, b))
+        return None if var is None else make_lit(var)
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    def levels(self) -> list[int]:
+        """Topological level of every variable (PIs and constant are 0)."""
+        if self._levels is None:
+            lev = [0] * self.num_vars
+            for var in self.and_vars():
+                lev[var] = 1 + max(lev[self._fanin0[var] >> 1], lev[self._fanin1[var] >> 1])
+            self._levels = lev
+        return self._levels
+
+    def depth(self) -> int:
+        """Maximum level over the output cones (0 for constant outputs)."""
+        if not self._outputs:
+            return 0
+        lev = self.levels()
+        return max(lev[lit_var(o)] for o in self._outputs)
+
+    def fanout_counts(self) -> list[int]:
+        """Number of AND fan-outs per variable (output edges not counted)."""
+        counts = [0] * self.num_vars
+        for var in self.and_vars():
+            counts[self._fanin0[var] >> 1] += 1
+            counts[self._fanin1[var] >> 1] += 1
+        return counts
+
+    def fanouts(self) -> list[list[int]]:
+        """Adjacency list: for each variable, the AND variables that read it."""
+        outs: list[list[int]] = [[] for _ in range(self.num_vars)]
+        for var in self.and_vars():
+            outs[self._fanin0[var] >> 1].append(var)
+            outs[self._fanin1[var] >> 1].append(var)
+        return outs
+
+    def transitive_fanin(self, roots: Iterable[int]) -> set[int]:
+        """Set of variables in the transitive fan-in cone of ``roots`` (vars)."""
+        seen: set[int] = set()
+        stack = [v for v in roots]
+        while stack:
+            var = stack.pop()
+            if var in seen:
+                continue
+            seen.add(var)
+            if self.is_and(var):
+                stack.append(self._fanin0[var] >> 1)
+                stack.append(self._fanin1[var] >> 1)
+        return seen
+
+    def iter_ands(self) -> Iterator[tuple[int, int, int]]:
+        """Yield ``(var, fanin0_lit, fanin1_lit)`` for every AND node."""
+        for var in self.and_vars():
+            yield var, self._fanin0[var], self._fanin1[var]
+
+    def fanin_arrays(self) -> tuple["object", "object"]:
+        """Fan-in literals as two NumPy int64 arrays of length ``num_vars``.
+
+        Entries for the constant node and PIs are ``-1``.  Used by the
+        vectorized simulator and the feature encoder.
+        """
+        import numpy as np
+
+        return (
+            np.asarray(self._fanin0, dtype=np.int64),
+            np.asarray(self._fanin1, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def _check_lit(self, lit: int) -> None:
+        if lit < 0 or (lit >> 1) >= self.num_vars:
+            raise ValueError(f"literal {lit} references an unknown variable")
+
+    def stats(self) -> dict[str, int]:
+        """Summary statistics (the |V|/|E| annotations of Fig. 7)."""
+        return {
+            "inputs": self.num_inputs,
+            "outputs": self.num_outputs,
+            "ands": self.num_ands,
+            "nodes": self.num_vars,
+            "edges": self.num_edges,
+            "depth": self.depth(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AIG(name={self.name!r}, inputs={self.num_inputs}, "
+            f"outputs={self.num_outputs}, ands={self.num_ands})"
+        )

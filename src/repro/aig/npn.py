@@ -1,0 +1,127 @@
+"""NPN (negation–permutation–negation) equivalence of small functions.
+
+Two functions are NPN-equivalent when one can be obtained from the other by
+permuting inputs, complementing a subset of inputs, and optionally
+complementing the output.  The paper labels "negation-permutation-negation
+equivalent functions" as XOR/MAJ (Sec. III-B2), so both the exact reasoner
+and the technology matcher work modulo NPN.
+
+Brute-force canonicalization is used: for k ≤ 4 there are at most
+``4! * 2^4 * 2 = 768`` transforms, and the handful of distinct truth tables
+appearing in practice are cached.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import permutations
+
+from repro.aig.truth import truth_from_function, truth_mask
+
+__all__ = [
+    "apply_transform",
+    "npn_canon",
+    "npn_class",
+    "all_npn_transforms",
+    "NpnTransform",
+    "XOR2_TRUTHS",
+    "XOR3_TRUTHS",
+    "MAJ3_TRUTHS",
+    "is_xor_truth",
+    "is_maj_truth",
+    "XOR2",
+    "XOR3",
+    "MAJ3",
+    "AND2",
+]
+
+# Reference truth tables (over 2 or 3 variables).
+XOR2 = truth_from_function(lambda a, b: a ^ b, 2)  # 0x6
+XOR3 = truth_from_function(lambda a, b, c: a ^ b ^ c, 3)  # 0x96
+MAJ3 = truth_from_function(lambda a, b, c: (a & b) | (a & c) | (b & c), 3)  # 0xe8
+AND2 = truth_from_function(lambda a, b: a & b, 2)  # 0x8
+
+NpnTransform = tuple[tuple[int, ...], tuple[int, ...], int]
+"""``(perm, input_flips, output_flip)``: new input ``j`` feeds original input
+``perm[j]``, optionally complemented by ``input_flips[j]``."""
+
+
+def apply_transform(table: int, num_vars: int, perm: tuple[int, ...],
+                    flips: tuple[int, ...], out_flip: int) -> int:
+    """Apply an NPN transform to ``table``.
+
+    The result ``t'`` satisfies ``t'(x_0..x_{k-1}) = t(y_0..y_{k-1}) ^ out_flip``
+    where ``y_{perm[j]} = x_j ^ flips[j]``.
+    """
+    out = 0
+    for minterm in range(1 << num_vars):
+        src = 0
+        for j in range(num_vars):
+            bit = ((minterm >> j) & 1) ^ flips[j]
+            if bit:
+                src |= 1 << perm[j]
+        value = ((table >> src) & 1) ^ out_flip
+        if value:
+            out |= 1 << minterm
+    return out
+
+
+def _all_transforms(num_vars: int):
+    for perm in permutations(range(num_vars)):
+        for flip_bits in range(1 << num_vars):
+            flips = tuple((flip_bits >> j) & 1 for j in range(num_vars))
+            for out_flip in (0, 1):
+                yield perm, flips, out_flip
+
+
+@lru_cache(maxsize=1 << 16)
+def npn_canon(table: int, num_vars: int) -> int:
+    """Canonical (minimum) truth table over the NPN orbit of ``table``."""
+    table &= truth_mask(num_vars)
+    return min(
+        apply_transform(table, num_vars, perm, flips, out_flip)
+        for perm, flips, out_flip in _all_transforms(num_vars)
+    )
+
+
+@lru_cache(maxsize=4096)
+def npn_class(table: int, num_vars: int) -> frozenset[int]:
+    """The full NPN orbit of ``table`` as a set of truth tables."""
+    table &= truth_mask(num_vars)
+    return frozenset(
+        apply_transform(table, num_vars, perm, flips, out_flip)
+        for perm, flips, out_flip in _all_transforms(num_vars)
+    )
+
+
+@lru_cache(maxsize=4096)
+def all_npn_transforms(table: int, num_vars: int) -> dict[int, NpnTransform]:
+    """Map every truth table in the orbit of ``table`` to one transform
+    producing it.  Used by the technology matcher to recover pin assignments.
+    """
+    table &= truth_mask(num_vars)
+    orbit: dict[int, NpnTransform] = {}
+    for perm, flips, out_flip in _all_transforms(num_vars):
+        transformed = apply_transform(table, num_vars, perm, flips, out_flip)
+        orbit.setdefault(transformed, (perm, flips, out_flip))
+    return orbit
+
+
+# Precomputed membership sets for the hot path of the exact reasoner.
+XOR2_TRUTHS = npn_class(XOR2, 2)
+XOR3_TRUTHS = npn_class(XOR3, 3)
+MAJ3_TRUTHS = npn_class(MAJ3, 3)
+
+
+def is_xor_truth(table: int, num_vars: int) -> bool:
+    """True when ``table`` is NPN-equivalent to XOR2 (k=2) or XOR3 (k=3)."""
+    if num_vars == 2:
+        return table in XOR2_TRUTHS
+    if num_vars == 3:
+        return table in XOR3_TRUTHS
+    return False
+
+
+def is_maj_truth(table: int, num_vars: int) -> bool:
+    """True when ``table`` is NPN-equivalent to MAJ3 (k=3 only)."""
+    return num_vars == 3 and table in MAJ3_TRUTHS

@@ -1,0 +1,142 @@
+"""Structural AIG transformations: cleanup, cone extraction, composition.
+
+The utility passes every AIG-based flow needs around the core reasoning:
+
+* :func:`cleanup` — drop logic not reachable from the outputs (dangling
+  nodes accumulate during experiments that rebuild or corrupt netlists);
+* :func:`extract_cone` — a standalone AIG computing selected outputs;
+* :func:`compose` — parallel composition over shared inputs;
+* :func:`miter` — the XOR-OR equivalence miter used by CEC flows
+  (:mod:`repro.verify.cec` proves the miter constant-0 with BDDs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.aig.graph import AIG, CONST0, lit_neg, lit_not, lit_var, make_lit
+
+__all__ = ["cleanup", "extract_cone", "compose", "miter", "relabel_copy"]
+
+
+def _copy_cone(source: AIG, target: AIG, roots: Sequence[int],
+               input_map: dict[int, int]) -> dict[int, int]:
+    """Copy the cones of ``roots`` (literals) into ``target``.
+
+    ``input_map`` maps source PI variables to target literals.  Returns a
+    var->literal map for every copied variable.  Nodes are visited in
+    topological (variable) order, so hashing in ``target`` re-canonicalizes
+    the copied logic.
+    """
+    needed = source.transitive_fanin([lit_var(lit) for lit in roots])
+    mapping: dict[int, int] = {0: CONST0}
+    for var in sorted(needed):
+        if source.is_input(var):
+            if var not in input_map:
+                raise ValueError(f"no mapping for source input variable {var}")
+            mapping[var] = input_map[var]
+    for var in sorted(needed):
+        if not source.is_and(var):
+            continue
+        f0, f1 = source.fanins(var)
+        lit0 = mapping[lit_var(f0)] ^ lit_neg(f0)
+        lit1 = mapping[lit_var(f1)] ^ lit_neg(f1)
+        mapping[var] = target.add_and(lit0, lit1)
+    return mapping
+
+
+def cleanup(aig: AIG) -> AIG:
+    """Rebuild without logic unreachable from the primary outputs.
+
+    Keeps the full PI interface (dangling inputs stay, as tools expect),
+    renumbering AND nodes compactly.
+    """
+    fresh = AIG(name=aig.name)
+    input_map = {
+        var: fresh.add_input(name)
+        for var, name in zip(aig.input_vars(), aig.input_names)
+    }
+    mapping = _copy_cone(aig, fresh, aig.outputs, input_map)
+    for lit, name in zip(aig.outputs, aig.output_names):
+        fresh.add_output(mapping[lit_var(lit)] ^ lit_neg(lit), name)
+    return fresh
+
+
+def extract_cone(aig: AIG, output_indices: Sequence[int],
+                 name: str | None = None) -> AIG:
+    """Standalone AIG computing the selected outputs.
+
+    Only PIs in the cone's support are kept (a *cone* is usually much
+    narrower than the parent interface); their order follows the parent.
+    """
+    roots = [aig.outputs[i] for i in output_indices]
+    support_vars = sorted(
+        var for var in aig.transitive_fanin([lit_var(r) for r in roots])
+        if aig.is_input(var)
+    )
+    cone = AIG(name=name or f"{aig.name}_cone")
+    input_map = {
+        var: cone.add_input(aig.input_names[var - 1]) for var in support_vars
+    }
+    mapping = _copy_cone(aig, cone, roots, input_map)
+    for index in output_indices:
+        lit = aig.outputs[index]
+        cone.add_output(mapping[lit_var(lit)] ^ lit_neg(lit),
+                        aig.output_names[index])
+    return cone
+
+
+def relabel_copy(aig: AIG, name: str | None = None) -> AIG:
+    """A strash-canonicalized copy (useful to normalize read-in netlists)."""
+    return cleanup(aig) if name is None else _renamed(cleanup(aig), name)
+
+
+def _renamed(aig: AIG, name: str) -> AIG:
+    aig.name = name
+    return aig
+
+
+def compose(left: AIG, right: AIG, name: str | None = None) -> AIG:
+    """Parallel composition over a shared input interface.
+
+    Both networks must have the same input count; the result exposes
+    ``left``'s outputs followed by ``right``'s.
+    """
+    if left.num_inputs != right.num_inputs:
+        raise ValueError(
+            f"input counts differ: {left.num_inputs} vs {right.num_inputs}"
+        )
+    merged = AIG(name=name or f"{left.name}+{right.name}")
+    inputs = [merged.add_input(n) for n in left.input_names]
+    for source, prefix in ((left, "l"), (right, "r")):
+        input_map = dict(zip(source.input_vars(), inputs))
+        mapping = _copy_cone(source, merged, source.outputs, input_map)
+        for lit, out_name in zip(source.outputs, source.output_names):
+            merged.add_output(mapping[lit_var(lit)] ^ lit_neg(lit),
+                              f"{prefix}_{out_name}")
+    return merged
+
+
+def miter(left: AIG, right: AIG, name: str | None = None) -> AIG:
+    """Equivalence miter: one output = OR of pairwise output XORs.
+
+    The networks are equivalent iff the miter output is constant 0 — the
+    standard reduction used by combinational equivalence checking.
+    """
+    if left.num_inputs != right.num_inputs:
+        raise ValueError("miter requires identical input counts")
+    if left.num_outputs != right.num_outputs:
+        raise ValueError("miter requires identical output counts")
+    combined = AIG(name=name or f"miter({left.name},{right.name})")
+    inputs = [combined.add_input(n) for n in left.input_names]
+    mappings = []
+    for source in (left, right):
+        input_map = dict(zip(source.input_vars(), inputs))
+        mappings.append(_copy_cone(source, combined, source.outputs, input_map))
+    differences = []
+    for l_lit, r_lit in zip(left.outputs, right.outputs):
+        l_copy = mappings[0][lit_var(l_lit)] ^ lit_neg(l_lit)
+        r_copy = mappings[1][lit_var(r_lit)] ^ lit_neg(r_lit)
+        differences.append(combined.add_xor(l_copy, r_copy))
+    combined.add_output(combined.add_or_multi(differences), "diff")
+    return combined

@@ -1,0 +1,115 @@
+"""Truth-table manipulation for small (≤6-input) Boolean functions.
+
+Truth tables are plain Python integers: bit ``m`` of the integer is the
+function value on minterm ``m`` (input ``i`` contributes bit ``i`` of ``m``).
+This exact-integer representation keeps cut-function computation allocation
+free and hashable, which the cut enumerator and the NPN matcher rely on.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+__all__ = [
+    "MAX_TRUTH_VARS",
+    "truth_mask",
+    "var_truth",
+    "truth_complement",
+    "expand_truth",
+    "truth_to_string",
+    "truth_from_function",
+    "cofactors",
+    "truth_support",
+]
+
+MAX_TRUTH_VARS = 6
+
+
+def truth_mask(num_vars: int) -> int:
+    """All-ones mask for a ``num_vars``-input truth table."""
+    return (1 << (1 << num_vars)) - 1
+
+
+@lru_cache(maxsize=None)
+def var_truth(index: int, num_vars: int) -> int:
+    """Truth table of the projection function ``x_index`` among ``num_vars``."""
+    if not 0 <= index < num_vars:
+        raise ValueError(f"variable index {index} out of range for {num_vars} vars")
+    table = 0
+    for minterm in range(1 << num_vars):
+        if minterm & (1 << index):
+            table |= 1 << minterm
+    return table
+
+
+def truth_complement(table: int, num_vars: int) -> int:
+    """Complement within the ``num_vars``-input domain."""
+    return ~table & truth_mask(num_vars)
+
+
+@lru_cache(maxsize=1 << 18)
+def expand_truth(table: int, positions: tuple[int, ...], num_vars: int) -> int:
+    """Re-express ``table`` on a larger variable set.
+
+    ``table`` is a function of ``len(positions)`` variables; variable ``i`` of
+    the source becomes variable ``positions[i]`` of the ``num_vars``-variable
+    target.  Heavily memoized: cut merging re-expands the same handful of
+    XOR/MAJ/AND shapes millions of times on multiplier netlists.
+    """
+    if len(positions) == num_vars and positions == tuple(range(num_vars)):
+        return table
+    out = 0
+    for minterm in range(1 << num_vars):
+        src = 0
+        for i, pos in enumerate(positions):
+            if minterm & (1 << pos):
+                src |= 1 << i
+        if table & (1 << src):
+            out |= 1 << minterm
+    return out
+
+
+def truth_to_string(table: int, num_vars: int) -> str:
+    """Hex rendering padded to the domain size, e.g. ``0x96`` for XOR3."""
+    digits = max(1, (1 << num_vars) // 4)
+    return f"0x{table:0{digits}x}"
+
+
+def truth_from_function(func, num_vars: int) -> int:
+    """Build a truth table from a Python predicate over input bit-tuples.
+
+    >>> truth_from_function(lambda a, b: a ^ b, 2)
+    6
+    """
+    table = 0
+    for minterm in range(1 << num_vars):
+        bits = tuple((minterm >> i) & 1 for i in range(num_vars))
+        if func(*bits):
+            table |= 1 << minterm
+    return table
+
+
+def cofactors(table: int, index: int, num_vars: int) -> tuple[int, int]:
+    """Negative and positive cofactors with respect to variable ``index``.
+
+    Both cofactors are returned as functions of the same ``num_vars``
+    variables (the cofactored variable becomes don't-care).
+    """
+    mask_pos = var_truth(index, num_vars)
+    mask_neg = truth_complement(mask_pos, num_vars)
+    shift = 1 << index
+    neg = table & mask_neg
+    neg |= neg << shift
+    pos = table & mask_pos
+    pos |= pos >> shift
+    return neg & truth_mask(num_vars), pos & truth_mask(num_vars)
+
+
+def truth_support(table: int, num_vars: int) -> tuple[int, ...]:
+    """Indices of variables the function actually depends on."""
+    support = []
+    for index in range(num_vars):
+        neg, pos = cofactors(table, index, num_vars)
+        if neg != pos:
+            support.append(index)
+    return tuple(support)

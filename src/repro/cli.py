@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands cover the release's day-to-day flows:
+
+* ``gen``     — generate a multiplier and write it as AIGER;
+* ``stats``   — print AIG statistics for a netlist file;
+* ``extract`` — exact adder-tree extraction on a netlist;
+* ``train``   — train a Gamora model and save the weights;
+* ``reason``  — run a trained model over a netlist and report the tree;
+* ``map``     — technology-map a netlist and report cell statistics;
+* ``cec``     — equivalence-check two netlists;
+* ``verify``  — SCA-verify a generated multiplier.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.aig import read_aiger, write_aag, write_aig
+from repro.generators import make_multiplier
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gamora reproduction: graph-learning symbolic reasoning for AIGs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("gen", help="generate a multiplier netlist")
+    gen.add_argument("output", help="output path (.aag or .aig)")
+    gen.add_argument("--width", type=int, default=8)
+    gen.add_argument("--kind", choices=["csa", "booth"], default="csa")
+    gen.add_argument("--style", default=None,
+                     help="reduction style (array/wallace/dadda)")
+
+    stats = sub.add_parser("stats", help="print netlist statistics")
+    stats.add_argument("netlist")
+
+    extract = sub.add_parser("extract", help="exact adder-tree extraction")
+    extract.add_argument("netlist")
+    extract.add_argument("--max-cuts", type=int, default=10)
+
+    train = sub.add_parser("train", help="train a Gamora model")
+    train.add_argument("model_out", help="output .npz path")
+    train.add_argument("--width", type=int, default=8)
+    train.add_argument("--kind", choices=["csa", "booth"], default="csa")
+    train.add_argument("--model", choices=["shallow", "deep"], default="shallow")
+    train.add_argument("--epochs", type=int, default=250)
+
+    reason = sub.add_parser("reason", help="reason over a netlist with a model")
+    reason.add_argument("model")
+    reason.add_argument("netlist")
+
+    tmap = sub.add_parser("map", help="technology-map a netlist")
+    tmap.add_argument("netlist")
+    tmap.add_argument("--library", choices=["mcnc", "asap7"], default="mcnc")
+    tmap.add_argument("--mode", choices=["area", "delay"], default="area")
+    tmap.add_argument("--out", help="write the re-expanded AIG here", default=None)
+
+    cec = sub.add_parser("cec", help="equivalence-check two netlists")
+    cec.add_argument("left")
+    cec.add_argument("right")
+    cec.add_argument("--engine", choices=["auto", "bdd", "exhaustive", "random"],
+                     default="auto")
+
+    verify = sub.add_parser("verify", help="SCA-verify a generated multiplier")
+    verify.add_argument("--width", type=int, default=8)
+    verify.add_argument("--kind", choices=["csa", "booth"], default="csa")
+    verify.add_argument("--mode", choices=["adder", "naive"], default="adder")
+    return parser
+
+
+def _write_netlist(aig, path: str) -> None:
+    if path.endswith(".aag"):
+        write_aag(aig, path)
+    else:
+        write_aig(aig, path)
+
+
+def _cmd_gen(args) -> int:
+    kwargs = {"style": args.style} if args.style else {}
+    gen = make_multiplier(args.width, args.kind, **kwargs)
+    _write_netlist(gen.aig, args.output)
+    print(f"wrote {gen.aig} to {args.output}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    aig = read_aiger(args.netlist)
+    for key, value in aig.stats().items():
+        print(f"{key:>8}: {value}")
+    return 0
+
+
+def _cmd_extract(args) -> int:
+    from repro.reasoning import analyze_adder_tree, detect_xor_maj, extract_adder_tree
+    from repro.utils.timing import Timer, format_seconds
+
+    aig = read_aiger(args.netlist)
+    with Timer() as timer:
+        detection = detect_xor_maj(aig, max_cuts=args.max_cuts)
+        tree = extract_adder_tree(aig, detection)
+    report = analyze_adder_tree(aig, tree)
+    print(report.summary())
+    print(f"extraction took {format_seconds(timer.elapsed)}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.core import Gamora
+    from repro.learn import TrainConfig
+
+    gamora = Gamora(model=args.model,
+                    train_config=TrainConfig(epochs=args.epochs))
+    gamora.fit([make_multiplier(args.width, args.kind)])
+    gamora.save(args.model_out)
+    final = gamora.history[-1]
+    print(f"trained {gamora.net.describe()}")
+    print(f"final loss {final['loss']:.4f}, train accuracy {final['mean']:.4f}")
+    print(f"saved to {args.model_out}")
+    return 0
+
+
+def _cmd_reason(args) -> int:
+    from repro.core import Gamora
+    from repro.reasoning import analyze_adder_tree
+    from repro.utils.timing import format_seconds
+
+    gamora = Gamora.load(args.model)
+    aig = read_aiger(args.netlist)
+    outcome = gamora.reason(aig)
+    report = analyze_adder_tree(aig, outcome.tree)
+    print(report.summary())
+    print(f"inference {format_seconds(outcome.inference_seconds)}, "
+          f"post-processing {format_seconds(outcome.postprocess_seconds)}, "
+          f"{outcome.num_mismatches} mismatches")
+    return 0
+
+
+def _cmd_map(args) -> int:
+    from repro.techmap import asap7_like, map_aig, mcnc_reduced, netlist_to_aig
+
+    aig = read_aiger(args.netlist)
+    library = mcnc_reduced() if args.library == "mcnc" else asap7_like()
+    netlist = map_aig(aig, library, mode=args.mode)
+    print(netlist)
+    for cell, count in netlist.cell_histogram().items():
+        print(f"  {cell:>12}: {count}")
+    if args.out:
+        _write_netlist(netlist_to_aig(netlist), args.out)
+        print(f"re-expanded AIG written to {args.out}")
+    return 0
+
+
+def _cmd_cec(args) -> int:
+    from repro.verify import check_equivalence
+
+    left = read_aiger(args.left)
+    right = read_aiger(args.right)
+    result = check_equivalence(left, right, engine=args.engine)
+    print(result)
+    if not result.equivalent and result.counterexample is not None:
+        print(f"counterexample (inputs LSB-first): {result.counterexample}")
+        print(f"first failing output index: {result.failing_output}")
+    return 0 if result.equivalent else 2
+
+
+def _cmd_verify(args) -> int:
+    from repro.verify import verify_multiplier
+
+    gen = make_multiplier(args.width, args.kind)
+    result = verify_multiplier(gen, mode=args.mode)
+    print(result)
+    return 0 if result.ok else 2
+
+
+_HANDLERS = {
+    "gen": _cmd_gen,
+    "stats": _cmd_stats,
+    "extract": _cmd_extract,
+    "train": _cmd_train,
+    "reason": _cmd_reason,
+    "map": _cmd_map,
+    "cec": _cmd_cec,
+    "verify": _cmd_verify,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Gamora public API: the paper's primary contribution as a library."""
+
+from repro.core.api import Gamora, ReasoningOutcome
+from repro.core.postprocess import (
+    PredictedExtraction,
+    correct_lsb_region,
+    extract_from_predictions,
+    predictions_to_detection,
+)
+
+__all__ = [
+    "Gamora",
+    "ReasoningOutcome",
+    "PredictedExtraction",
+    "correct_lsb_region",
+    "extract_from_predictions",
+    "predictions_to_detection",
+]

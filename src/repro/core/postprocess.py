@@ -1,0 +1,206 @@
+"""Post-processing of GNN predictions (paper Sec. III-B3 and IV-B1).
+
+Predicted XOR/MAJ/root labels become an adder tree in three steps:
+
+1. *verify* — each flagged node's local cuts are recomputed and checked
+   against the XOR/MAJ NPN classes; nodes with no matching cut are
+   mispredictions (the paper's Fig. 3(e) "mismatch") and are dropped;
+2. *pair* — verified roots go through the same identical-input matching as
+   exact reasoning;
+3. *LSB repair* — nodes near the least-significant output bits have shallow
+   neighborhoods and are systematically mispredicted (paper Sec. IV-B1);
+   exact reasoning re-runs on that small cone and overrides the labels,
+   the "easily corrected during post-processing" step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aig.cuts import node_cuts
+from repro.aig.graph import AIG, lit_var
+from repro.aig.npn import is_maj_truth, is_xor_truth
+from repro.reasoning.adder_tree import (
+    TASK1_LEAF,
+    TASK1_OTHER,
+    TASK1_ROOT,
+    TASK1_ROOT_LEAF,
+    AdderTree,
+    extract_adder_tree,
+)
+from repro.reasoning.xor_maj import XorMajDetection
+
+__all__ = [
+    "PredictedExtraction",
+    "predictions_to_detection",
+    "extract_from_predictions",
+    "correct_lsb_region",
+]
+
+
+@dataclass
+class PredictedExtraction:
+    """Adder tree recovered from predictions, with a mismatch report."""
+
+    tree: AdderTree
+    detection: XorMajDetection
+    rejected_xor: list[int] = field(default_factory=list)
+    rejected_maj: list[int] = field(default_factory=list)
+    corrected_vars: set[int] = field(default_factory=set)
+
+    @property
+    def num_mismatches(self) -> int:
+        return len(self.rejected_xor) + len(self.rejected_maj)
+
+
+def _root_flags(labels: dict[str, np.ndarray]) -> np.ndarray:
+    root = np.asarray(labels["root"])
+    return (root == TASK1_ROOT) | (root == TASK1_ROOT_LEAF)
+
+
+def predictions_to_detection(
+    aig: AIG,
+    labels: dict[str, np.ndarray],
+    root_filter: bool = True,
+    max_cuts: int = 10,
+) -> tuple[XorMajDetection, list[int], list[int]]:
+    """Turn predicted labels into a cut-verified :class:`XorMajDetection`.
+
+    Only nodes the GNN flagged are examined, so the cut computation is
+    local — this is the payoff of learned reasoning: the expensive global
+    enumeration is replaced by inference plus a sparse verification.
+    Returns the detection and the lists of flagged-but-unverifiable nodes.
+    """
+    is_root = _root_flags(labels)
+    xor_flags = np.asarray(labels["xor"]) == 1
+    maj_flags = np.asarray(labels["maj"]) == 1
+    if root_filter:
+        xor_candidates = np.flatnonzero(xor_flags & is_root)
+        maj_candidates = np.flatnonzero(maj_flags & is_root)
+    else:
+        xor_candidates = np.flatnonzero(xor_flags)
+        maj_candidates = np.flatnonzero(maj_flags)
+
+    detection = XorMajDetection()
+    rejected_xor: list[int] = []
+    rejected_maj: list[int] = []
+    for var in xor_candidates:
+        var = int(var)
+        if not aig.is_and(var):
+            rejected_xor.append(var)
+            continue
+        leaf_sets = [
+            cut.leaves
+            for cut in node_cuts(aig, var, k=3, max_cuts=max_cuts)
+            if (cut.size == 2 and is_xor_truth(cut.truth, 2))
+            or (cut.size == 3 and is_xor_truth(cut.truth, 3))
+        ]
+        if leaf_sets:
+            detection.xor_roots[var] = leaf_sets
+        else:
+            rejected_xor.append(var)
+    for var in maj_candidates:
+        var = int(var)
+        if not aig.is_and(var):
+            rejected_maj.append(var)
+            continue
+        leaf_sets = [
+            cut.leaves
+            for cut in node_cuts(aig, var, k=3, max_cuts=max_cuts)
+            if cut.size == 3 and is_maj_truth(cut.truth, 3)
+        ]
+        if leaf_sets:
+            detection.maj_roots[var] = leaf_sets
+        else:
+            # Half-adder carries are plain ANDs: legitimately MAJ-labeled
+            # (MAJ3 with constant input) but with no 3-leaf MAJ cut.  They
+            # participate in pairing through the carry pool, not here.
+            f0, f1 = (aig.fanins(var) if aig.is_and(var) else (0, 0))
+            if lit_var(f0) == lit_var(f1):
+                rejected_maj.append(var)
+    return detection, rejected_xor, rejected_maj
+
+
+def correct_lsb_region(
+    aig: AIG,
+    labels: dict[str, np.ndarray],
+    num_outputs: int = 4,
+    max_cuts: int = 10,
+) -> tuple[dict[str, np.ndarray], set[int]]:
+    """Overwrite labels in the low-output cone with exact reasoning.
+
+    The cone of the ``num_outputs`` least-significant outputs is small
+    (O(width) nodes in a multiplier), so exact cut matching there is cheap.
+    Returns patched copies of the label arrays and the patched variables.
+    """
+    roots = [lit_var(lit) for lit in aig.outputs[:num_outputs]]
+    cone = {var for var in aig.transitive_fanin(roots) if aig.is_and(var)}
+    if not cone:
+        return labels, set()
+
+    detection = XorMajDetection()
+    for var in sorted(cone):
+        xor_sets = []
+        maj_sets = []
+        for cut in node_cuts(aig, var, k=3, max_cuts=max_cuts):
+            if cut.size == 2 and is_xor_truth(cut.truth, 2):
+                xor_sets.append(cut.leaves)
+            elif cut.size == 3:
+                if is_xor_truth(cut.truth, 3):
+                    xor_sets.append(cut.leaves)
+                elif is_maj_truth(cut.truth, 3):
+                    maj_sets.append(cut.leaves)
+        if xor_sets:
+            detection.xor_roots[var] = xor_sets
+        if maj_sets:
+            detection.maj_roots[var] = maj_sets
+
+    patched = {task: np.array(arr, copy=True) for task, arr in labels.items()}
+    for var in cone:
+        patched["xor"][var] = 1 if var in detection.xor_roots else 0
+        patched["maj"][var] = 1 if var in detection.maj_roots else 0
+
+    # Re-derive boundary labels inside the cone from a local extraction.
+    local_tree = extract_adder_tree(aig, detection)
+    local_roots = local_tree.root_vars()
+    local_leaves = local_tree.leaf_vars()
+    for adder in local_tree.adders:
+        if adder.kind == "HA":
+            patched["maj"][adder.carry_var] = 1
+    for var in cone:
+        if var in local_roots and var in local_leaves:
+            patched["root"][var] = TASK1_ROOT_LEAF
+        elif var in local_roots:
+            patched["root"][var] = TASK1_ROOT
+        elif var in local_leaves:
+            patched["root"][var] = TASK1_LEAF
+        else:
+            patched["root"][var] = TASK1_OTHER
+    return patched, cone
+
+
+def extract_from_predictions(
+    aig: AIG,
+    labels: dict[str, np.ndarray],
+    root_filter: bool = False,
+    correct_lsb: bool = True,
+    lsb_outputs: int = 4,
+    max_cuts: int = 10,
+) -> PredictedExtraction:
+    """Full post-processing pipeline: repair, verify, pair."""
+    corrected: set[int] = set()
+    if correct_lsb:
+        labels, corrected = correct_lsb_region(aig, labels, lsb_outputs, max_cuts)
+    detection, rejected_xor, rejected_maj = predictions_to_detection(
+        aig, labels, root_filter=root_filter, max_cuts=max_cuts
+    )
+    tree = extract_adder_tree(aig, detection)
+    return PredictedExtraction(
+        tree=tree,
+        detection=detection,
+        rejected_xor=rejected_xor,
+        rejected_maj=rejected_maj,
+        corrected_vars=corrected,
+    )

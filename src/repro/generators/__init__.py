@@ -1,0 +1,42 @@
+"""Benchmark-circuit generators: adders and multipliers in AIG form."""
+
+from repro.generators.components import AdderInstance, AdderTrace, full_adder, half_adder
+from repro.generators.adders import (
+    Columns,
+    reduce_columns,
+    ripple_carry_adder,
+    ripple_merge_columns,
+)
+from repro.generators.datapath import (
+    GeneratedDatapath,
+    dot_product,
+    multi_operand_adder,
+    multiply_accumulate,
+    squarer,
+)
+from repro.generators.multipliers import (
+    GeneratedMultiplier,
+    booth_multiplier,
+    csa_multiplier,
+    make_multiplier,
+)
+
+__all__ = [
+    "AdderInstance",
+    "AdderTrace",
+    "full_adder",
+    "half_adder",
+    "Columns",
+    "reduce_columns",
+    "ripple_carry_adder",
+    "ripple_merge_columns",
+    "GeneratedDatapath",
+    "dot_product",
+    "multi_operand_adder",
+    "multiply_accumulate",
+    "squarer",
+    "GeneratedMultiplier",
+    "booth_multiplier",
+    "csa_multiplier",
+    "make_multiplier",
+]

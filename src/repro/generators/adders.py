@@ -1,0 +1,188 @@
+"""Word-level adder construction: ripple chains and carry-save reduction.
+
+The carry-save reducers operate on *columns*: ``columns[p]`` is the list of
+literals whose weights are ``2^p``.  Three reduction styles are provided —
+``array`` (the row-by-row carry-save array of the paper's CSA multipliers),
+``wallace`` and ``dadda`` trees — all built exclusively from the traced
+half/full adders of :mod:`repro.generators.components`, so their adder trees
+are recoverable by symbolic reasoning.
+"""
+
+from __future__ import annotations
+
+from repro.aig.graph import AIG, CONST0
+from repro.generators.components import AdderTrace, full_adder, half_adder
+
+__all__ = [
+    "ripple_carry_adder",
+    "reduce_columns",
+    "ripple_merge_columns",
+    "Columns",
+]
+
+Columns = dict[int, list[int]]
+
+
+def ripple_carry_adder(aig: AIG, a_bits: list[int], b_bits: list[int],
+                       carry_in: int = CONST0,
+                       trace: AdderTrace | None = None) -> tuple[list[int], int]:
+    """Classic ripple-carry adder over two equal-width bit vectors.
+
+    Returns ``(sum_bits, carry_out)``.
+    """
+    if len(a_bits) != len(b_bits):
+        raise ValueError("operand widths differ")
+    carry = carry_in
+    sum_bits = []
+    for a, b in zip(a_bits, b_bits):
+        bit, carry = full_adder(aig, a, b, carry, trace)
+        sum_bits.append(bit)
+    return sum_bits, carry
+
+
+def _add_bit(columns: Columns, position: int, lit: int) -> None:
+    if lit == CONST0:
+        return
+    columns.setdefault(position, []).append(lit)
+
+
+def _wallace_pass(aig: AIG, columns: Columns, trace: AdderTrace | None) -> Columns:
+    result: Columns = {}
+    for position in sorted(columns):
+        bits = columns[position]
+        index = 0
+        while len(bits) - index >= 3:
+            s, c = full_adder(aig, bits[index], bits[index + 1], bits[index + 2], trace)
+            _add_bit(result, position, s)
+            _add_bit(result, position + 1, c)
+            index += 3
+        remaining = bits[index:]
+        if len(remaining) == 2:
+            s, c = half_adder(aig, remaining[0], remaining[1], trace)
+            _add_bit(result, position, s)
+            _add_bit(result, position + 1, c)
+        elif len(remaining) == 1:
+            _add_bit(result, position, remaining[0])
+    return result
+
+
+def _dadda_targets(max_height: int) -> list[int]:
+    targets = [2]
+    while targets[-1] < max_height:
+        targets.append(int(targets[-1] * 3 / 2))
+    return targets
+
+
+def _dadda_pass(aig: AIG, columns: Columns, target: int,
+                trace: AdderTrace | None) -> Columns:
+    result: Columns = {}
+    positions = sorted(columns)
+    for position in positions:
+        bits = list(columns.pop(position, [])) + list(result.pop(position, []))
+        while len(bits) > target:
+            if len(bits) == target + 1:
+                s, c = half_adder(aig, bits.pop(), bits.pop(), trace)
+            else:
+                s, c = full_adder(aig, bits.pop(), bits.pop(), bits.pop(), trace)
+            bits.append(s)
+            _add_bit(result, position + 1, c)
+        for lit in bits:
+            _add_bit(result, position, lit)
+    return result
+
+
+def _array_accumulate(aig: AIG, rows: list[Columns],
+                      trace: AdderTrace | None) -> Columns:
+    """Row-by-row carry-save accumulation: the *array* multiplier structure.
+
+    The accumulator keeps at most two bits per column; each new row is folded
+    in with one rank of half/full adders whose carries feed the next column,
+    exactly like the adder array inside a CSA multiplier layout.
+    """
+    if not rows:
+        return {}
+    acc = rows[0]
+    for row in rows[1:]:
+        next_acc: Columns = {}
+        carries: Columns = {}
+        position = 0
+        limit = max([p for p in acc] + [p for p in row], default=-1)
+        while position <= limit or any(p >= position for p in carries):
+            bits = acc.get(position, []) + row.get(position, []) + carries.pop(position, [])
+            while len(bits) >= 3:
+                s, c = full_adder(aig, bits[0], bits[1], bits[2], trace)
+                bits = [s] + bits[3:]
+                carries.setdefault(position + 1, []).append(c)
+            # Up to two bits may remain: the carry-save accumulator
+            # tolerates height 2 until the final vector merge.
+            for lit in bits:
+                _add_bit(next_acc, position, lit)
+            position += 1
+        acc = next_acc
+    return acc
+
+
+def reduce_columns(aig: AIG, columns_or_rows, style: str = "wallace",
+                   trace: AdderTrace | None = None) -> Columns:
+    """Reduce partial-product bits to at most two per column.
+
+    ``style='array'`` expects a list of row column-dicts and accumulates them
+    sequentially; ``'wallace'`` / ``'dadda'`` expect (or merge into) a single
+    column-dict and reduce all columns in parallel passes.
+    """
+    if style == "array":
+        if not isinstance(columns_or_rows, list):
+            raise TypeError("array reduction expects a list of row columns")
+        return _array_accumulate(aig, columns_or_rows, trace)
+
+    if isinstance(columns_or_rows, list):
+        merged: Columns = {}
+        for row in columns_or_rows:
+            for position, bits in row.items():
+                for lit in bits:
+                    _add_bit(merged, position, lit)
+        columns = merged
+    else:
+        columns = {p: list(bits) for p, bits in columns_or_rows.items()}
+
+    if style == "wallace":
+        while any(len(bits) > 2 for bits in columns.values()):
+            columns = _wallace_pass(aig, columns, trace)
+        return columns
+    if style == "dadda":
+        max_height = max((len(bits) for bits in columns.values()), default=0)
+        targets = [t for t in reversed(_dadda_targets(max(2, max_height))) if t < max_height]
+        for target in targets:
+            columns = _dadda_pass(aig, columns, target, trace)
+        return columns
+    raise ValueError(f"unknown reduction style {style!r}")
+
+
+def ripple_merge_columns(aig: AIG, columns: Columns,
+                         trace: AdderTrace | None = None) -> list[int]:
+    """Final vector-merge: ripple the ≤2-bit columns into a single word."""
+    if not columns:
+        return []
+    bits_out: list[int] = []
+    carry = CONST0
+    top = max(columns)
+    for position in range(0, top + 1):
+        bits = list(columns.get(position, []))
+        if carry != CONST0:
+            bits.append(carry)
+        carry = CONST0
+        if len(bits) == 0:
+            bits_out.append(CONST0)
+        elif len(bits) == 1:
+            bits_out.append(bits[0])
+        elif len(bits) == 2:
+            s, carry = half_adder(aig, bits[0], bits[1], trace)
+            bits_out.append(s)
+        elif len(bits) == 3:
+            s, carry = full_adder(aig, bits[0], bits[1], bits[2], trace)
+            bits_out.append(s)
+        else:  # pragma: no cover - reducers guarantee ≤ 2 bits + carry
+            raise AssertionError(f"column {position} too tall: {len(bits)}")
+    if carry != CONST0:
+        bits_out.append(carry)
+    return bits_out

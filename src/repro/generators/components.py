@@ -1,0 +1,114 @@
+"""Gate-level arithmetic building blocks (half/full adders) with tracing.
+
+Generators record every half/full adder they instantiate.  These records are
+*construction* ground truth: tests cross-check them against what the exact
+reasoner recovers, and the word-level report uses them to validate extracted
+adder trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aig.graph import AIG, CONST0, CONST1, lit_not, lit_var
+
+__all__ = ["AdderInstance", "AdderTrace", "half_adder", "full_adder"]
+
+
+@dataclass(frozen=True)
+class AdderInstance:
+    """One instantiated adder bit-slice.
+
+    ``inputs`` are the operand literals, ``sum`` / ``carry`` the output
+    literals.  ``kind`` is ``"FA"`` or ``"HA"``.
+    """
+
+    kind: str
+    inputs: tuple[int, ...]
+    sum: int
+    carry: int
+
+    @property
+    def sum_var(self) -> int:
+        return lit_var(self.sum)
+
+    @property
+    def carry_var(self) -> int:
+        return lit_var(self.carry)
+
+
+@dataclass
+class AdderTrace:
+    """Collects :class:`AdderInstance` records during construction."""
+
+    adders: list[AdderInstance] = field(default_factory=list)
+
+    def record(self, aig: AIG, kind: str, inputs: tuple[int, ...],
+               sum_lit: int, carry_lit: int) -> None:
+        """Record an adder, but only when it survived constant folding.
+
+        Structural hashing can collapse an adder whose operands are
+        constants or duplicates; such degenerate slices have no XOR/MAJ
+        roots and must not appear in the ground truth.
+        """
+        if not (aig.is_and(lit_var(sum_lit)) and aig.is_and(lit_var(carry_lit))):
+            return
+        self.adders.append(AdderInstance(kind, inputs, sum_lit, carry_lit))
+
+    @property
+    def num_full_adders(self) -> int:
+        return sum(1 for a in self.adders if a.kind == "FA")
+
+    @property
+    def num_half_adders(self) -> int:
+        return sum(1 for a in self.adders if a.kind == "HA")
+
+    def sum_vars(self) -> set[int]:
+        return {a.sum_var for a in self.adders}
+
+    def carry_vars(self) -> set[int]:
+        return {a.carry_var for a in self.adders}
+
+
+def half_adder(aig: AIG, a: int, b: int,
+               trace: AdderTrace | None = None) -> tuple[int, int]:
+    """Half adder: ``sum = a ⊕ b``, ``carry = a · b`` (3 + 1 AND nodes)."""
+    sum_lit = aig.add_xor(a, b)
+    carry_lit = aig.add_and(a, b)
+    if trace is not None:
+        trace.record(aig, "HA", (a, b), sum_lit, carry_lit)
+    return sum_lit, carry_lit
+
+
+def full_adder(aig: AIG, a: int, b: int, c: int,
+               trace: AdderTrace | None = None) -> tuple[int, int]:
+    """Full adder in the standard shared-XOR form ABC's generators emit.
+
+    ``sum = (a ⊕ b) ⊕ c`` and ``carry = a·b + c·(a ⊕ b)`` — the carry is
+    functionally MAJ3(a, b, c) and its root is NPN-equivalent to MAJ, which
+    is exactly what the reasoner must detect.  Constant operands degrade the
+    slice to a half adder (or to bare wires), mirroring how logic synthesis
+    folds boundary slices.
+    """
+    operands = [a, b, c]
+    for index, lit in enumerate(operands):
+        if lit == CONST0:
+            rest = [x for k, x in enumerate(operands) if k != index]
+            return half_adder(aig, rest[0], rest[1], trace)
+        if lit == CONST1:
+            # a + b + 1: sum = ¬(a ⊕ b), carry = a + b.  The XOR root is the
+            # same AND node (complemented), the carry is an OR — i.e. a
+            # complemented AND over negated operands, still NPN-MAJ.
+            rest = [x for k, x in enumerate(operands) if k != index]
+            sum_lit = lit_not(aig.add_xor(rest[0], rest[1]))
+            carry_lit = aig.add_or(rest[0], rest[1])
+            if trace is not None:
+                trace.record(aig, "HA", (rest[0], rest[1]), sum_lit, carry_lit)
+            return sum_lit, carry_lit
+
+    xor_ab = aig.add_xor(a, b)
+    sum_lit = aig.add_xor(xor_ab, c)
+    carry_lit = aig.add_or(aig.add_and(a, b), aig.add_and(c, xor_ab))
+    if trace is not None:
+        trace.record(aig, "FA", (a, b, c), sum_lit, carry_lit)
+    return sum_lit, carry_lit

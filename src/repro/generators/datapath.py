@@ -1,0 +1,144 @@
+"""Datapath generators beyond plain multipliers.
+
+The paper motivates reasoning with verification and *datapath synthesis*;
+these blocks give the examples and tests realistic adder-tree workloads
+that are not bare multipliers:
+
+* :func:`multi_operand_adder` — an N-operand carry-save adder tree;
+* :func:`multiply_accumulate` — ``a*b + c`` (MAC), the canonical DSP block;
+* :func:`dot_product` — ``sum a_i * b_i`` with a shared reduction tree;
+* :func:`squarer` — ``a*a`` with folded symmetric partial products.
+
+All are built from the traced components, so exact reasoning and Gamora
+can both recover their adder trees, and all are validated bit-exactly
+against Python integer arithmetic in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aig.graph import AIG, CONST0
+from repro.generators.adders import Columns, reduce_columns, ripple_merge_columns
+from repro.generators.components import AdderTrace
+
+__all__ = [
+    "GeneratedDatapath",
+    "multi_operand_adder",
+    "multiply_accumulate",
+    "dot_product",
+    "squarer",
+]
+
+
+@dataclass
+class GeneratedDatapath:
+    """A generated datapath block plus construction metadata."""
+
+    aig: AIG
+    kind: str
+    operand_literals: list[list[int]] = field(default_factory=list)
+    trace: AdderTrace = field(default_factory=AdderTrace)
+
+    @property
+    def name(self) -> str:
+        return self.aig.name
+
+
+def _emit_word(aig: AIG, columns: Columns, trace: AdderTrace,
+               num_bits: int) -> None:
+    word = ripple_merge_columns(aig, reduce_columns(aig, columns, trace=trace),
+                                trace=trace)
+    word = (word + [CONST0] * num_bits)[:num_bits]
+    for index, bit in enumerate(word):
+        aig.add_output(bit, f"s{index}")
+
+
+def multi_operand_adder(width: int, num_operands: int,
+                        name: str | None = None) -> GeneratedDatapath:
+    """Sum of ``num_operands`` unsigned ``width``-bit words."""
+    if width < 1 or num_operands < 2:
+        raise ValueError("need width >= 1 and at least two operands")
+    aig = AIG(name=name or f"add{num_operands}x{width}")
+    operands = [aig.add_inputs(width, prefix=f"x{k}_") for k in range(num_operands)]
+    trace = AdderTrace()
+    columns: Columns = {}
+    for bits in operands:
+        for position, lit in enumerate(bits):
+            columns.setdefault(position, []).append(lit)
+    extra = max(1, (num_operands - 1).bit_length())
+    _emit_word(aig, columns, trace, width + extra)
+    return GeneratedDatapath(aig, "multi_operand_adder", operands, trace)
+
+
+def _partial_product_columns(aig: AIG, a_bits: list[int],
+                             b_bits: list[int]) -> Columns:
+    columns: Columns = {}
+    for i, b_lit in enumerate(b_bits):
+        for j, a_lit in enumerate(a_bits):
+            bit = aig.add_and(a_lit, b_lit)
+            if bit != CONST0:
+                columns.setdefault(i + j, []).append(bit)
+    return columns
+
+
+def multiply_accumulate(width: int, acc_width: int | None = None,
+                        name: str | None = None) -> GeneratedDatapath:
+    """``a * b + c`` with an accumulator fused into the reduction tree."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    acc_width = acc_width if acc_width is not None else 2 * width
+    aig = AIG(name=name or f"mac{width}")
+    a_bits = aig.add_inputs(width, prefix="a")
+    b_bits = aig.add_inputs(width, prefix="b")
+    c_bits = aig.add_inputs(acc_width, prefix="c")
+    trace = AdderTrace()
+    columns = _partial_product_columns(aig, a_bits, b_bits)
+    for position, lit in enumerate(c_bits):
+        columns.setdefault(position, []).append(lit)
+    _emit_word(aig, columns, trace, max(2 * width, acc_width) + 1)
+    return GeneratedDatapath(aig, "mac", [a_bits, b_bits, c_bits], trace)
+
+
+def dot_product(width: int, num_terms: int,
+                name: str | None = None) -> GeneratedDatapath:
+    """``sum_k a_k * b_k`` sharing one reduction tree across products."""
+    if width < 1 or num_terms < 1:
+        raise ValueError("need width >= 1 and at least one term")
+    aig = AIG(name=name or f"dot{num_terms}x{width}")
+    pairs = []
+    for k in range(num_terms):
+        pairs.append(aig.add_inputs(width, prefix=f"a{k}_"))
+    for k in range(num_terms):
+        pairs.append(aig.add_inputs(width, prefix=f"b{k}_"))
+    trace = AdderTrace()
+    columns: Columns = {}
+    for k in range(num_terms):
+        product = _partial_product_columns(aig, pairs[k], pairs[num_terms + k])
+        for position, bits in product.items():
+            columns.setdefault(position, []).extend(bits)
+    extra = max(1, num_terms.bit_length())
+    _emit_word(aig, columns, trace, 2 * width + extra)
+    return GeneratedDatapath(aig, "dot_product", pairs, trace)
+
+
+def squarer(width: int, name: str | None = None) -> GeneratedDatapath:
+    """``a * a`` with the classic symmetric partial-product folding.
+
+    ``a_i a_j + a_j a_i`` collapses to one bit a column up and
+    ``a_i a_i = a_i``, so the tree is visibly different from a generic
+    multiplier — a structural variant for generalization experiments.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    aig = AIG(name=name or f"square{width}")
+    a_bits = aig.add_inputs(width, prefix="a")
+    trace = AdderTrace()
+    columns: Columns = {}
+    for i in range(width):
+        columns.setdefault(2 * i, []).append(a_bits[i])  # a_i^2 = a_i
+        for j in range(i + 1, width):
+            bit = aig.add_and(a_bits[i], a_bits[j])
+            columns.setdefault(i + j + 1, []).append(bit)  # doubled product
+    _emit_word(aig, columns, trace, 2 * width)
+    return GeneratedDatapath(aig, "squarer", [a_bits], trace)

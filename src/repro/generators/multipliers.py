@@ -1,0 +1,167 @@
+"""Integer multiplier generators: CSA array and radix-4 Booth.
+
+These are the benchmark family of the paper (Sec. IV-A): unsigned n-bit
+multipliers in AIG form, generated the way ABC's generators build them —
+AND-gate partial products reduced by traced half/full adders.  The returned
+:class:`GeneratedMultiplier` bundles the AIG with operand pin maps and the
+construction-time adder trace used as auxiliary ground truth.
+
+Bit-exactness of every generator is enforced by tests against Python integer
+multiplication across random operand sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aig.graph import AIG, CONST0, lit_not
+from repro.generators.adders import Columns, reduce_columns, ripple_merge_columns
+from repro.generators.components import AdderTrace
+
+__all__ = ["GeneratedMultiplier", "csa_multiplier", "booth_multiplier", "make_multiplier"]
+
+
+@dataclass
+class GeneratedMultiplier:
+    """A generated multiplier plus construction metadata."""
+
+    aig: AIG
+    width: int
+    kind: str  # "csa" or "booth"
+    a_literals: list[int] = field(default_factory=list)
+    b_literals: list[int] = field(default_factory=list)
+    trace: AdderTrace = field(default_factory=AdderTrace)
+
+    @property
+    def name(self) -> str:
+        return self.aig.name
+
+
+def _product_columns_csa(aig: AIG, a_bits: list[int], b_bits: list[int]) -> list[Columns]:
+    """Partial-product rows ``pp[i][j] = a_j · b_i`` at weight ``2^(i+j)``."""
+    rows: list[Columns] = []
+    for i, b_lit in enumerate(b_bits):
+        row: Columns = {}
+        for j, a_lit in enumerate(a_bits):
+            bit = aig.add_and(a_lit, b_lit)
+            if bit != CONST0:
+                row.setdefault(i + j, []).append(bit)
+        rows.append(row)
+    return rows
+
+
+def csa_multiplier(width: int, style: str = "array", name: str | None = None) -> GeneratedMultiplier:
+    """Unsigned ``width × width`` carry-save multiplier.
+
+    ``style`` selects the reduction: ``'array'`` (default — the CSA array of
+    the paper), ``'wallace'`` or ``'dadda'``.
+    """
+    if width < 1:
+        raise ValueError("multiplier width must be positive")
+    aig = AIG(name=name or f"mult{width}_csa_{style}")
+    a_bits = aig.add_inputs(width, prefix="a")
+    b_bits = aig.add_inputs(width, prefix="b")
+    trace = AdderTrace()
+
+    rows = _product_columns_csa(aig, a_bits, b_bits)
+    if style == "array":
+        reduced = reduce_columns(aig, rows, style="array", trace=trace)
+    else:
+        reduced = reduce_columns(aig, rows, style=style, trace=trace)
+    product = ripple_merge_columns(aig, reduced, trace=trace)
+
+    product = (product + [CONST0] * (2 * width))[: 2 * width]
+    for index, bit in enumerate(product):
+        aig.add_output(bit, f"p{index}")
+    return GeneratedMultiplier(aig, width, "csa", a_bits, b_bits, trace)
+
+
+def _booth_rows(aig: AIG, a_bits: list[int], b_bits: list[int]) -> list[Columns]:
+    """Radix-4 Booth partial-product rows for unsigned operands.
+
+    Digit ``d_i = b_{2i-1} + b_{2i} - 2·b_{2i+1}`` (out-of-range ``b`` bits
+    are zero) selects ``{-2,-1,0,1,2}·a``.  Each row contributes:
+
+    * magnitude bits ``(single·a_j + double·a_{j-1}) ⊕ neg`` at weight
+      ``2^(2i+j)`` for ``j = 0..n``,
+    * the two's-complement correction ``neg`` at weight ``2^(2i)``,
+    * sign-extension copies of ``neg`` for weights above the magnitude.
+
+    Constant folding silently removes the all-zero entries of the top rows,
+    so boundary rows degrade gracefully exactly as in synthesized netlists.
+    """
+    width = len(a_bits)
+    product_bits = 2 * width
+    num_rows = width // 2 + 1
+
+    def b_at(index: int) -> int:
+        if index < 0 or index >= width:
+            return CONST0
+        return b_bits[index]
+
+    def a_at(index: int) -> int:
+        if index < 0 or index >= width:
+            return CONST0
+        return a_bits[index]
+
+    rows: list[Columns] = []
+    for i in range(num_rows):
+        low, mid, high = b_at(2 * i - 1), b_at(2 * i), b_at(2 * i + 1)
+        single = aig.add_xor(low, mid)
+        double = aig.add_or(
+            aig.add_and(high, aig.add_nor(mid, low)),
+            aig.add_and(lit_not(high), aig.add_and(mid, low)),
+        )
+        neg = high
+        row: Columns = {}
+        shift = 2 * i
+        for j in range(width + 1):
+            magnitude = aig.add_or(
+                aig.add_and(single, a_at(j)), aig.add_and(double, a_at(j - 1))
+            )
+            bit = aig.add_xor(magnitude, neg)
+            if bit != CONST0 and shift + j < product_bits:
+                row.setdefault(shift + j, []).append(bit)
+        # Two's-complement +1 correction for negative digits.
+        if neg != CONST0:
+            row.setdefault(shift, []).append(neg)
+        # Sign extension of the (width+1)-bit magnitude field.
+        for position in range(shift + width + 1, product_bits):
+            if neg != CONST0:
+                row.setdefault(position, []).append(neg)
+        rows.append(row)
+    return rows
+
+
+def booth_multiplier(width: int, style: str = "wallace",
+                     name: str | None = None) -> GeneratedMultiplier:
+    """Unsigned ``width × width`` radix-4 Booth-encoded multiplier.
+
+    Booth encoding makes the netlist structurally far more complex than the
+    CSA array (selector logic, negations, sign extension) — the property the
+    paper leans on to stress generalization (Sec. IV-B2).
+    """
+    if width < 2:
+        raise ValueError("booth multiplier needs width >= 2")
+    aig = AIG(name=name or f"mult{width}_booth_{style}")
+    a_bits = aig.add_inputs(width, prefix="a")
+    b_bits = aig.add_inputs(width, prefix="b")
+    trace = AdderTrace()
+
+    rows = _booth_rows(aig, a_bits, b_bits)
+    reduced = reduce_columns(aig, rows, style=style, trace=trace)
+    product = ripple_merge_columns(aig, reduced, trace=trace)
+
+    product = (product + [CONST0] * (2 * width))[: 2 * width]
+    for index, bit in enumerate(product):
+        aig.add_output(bit, f"p{index}")
+    return GeneratedMultiplier(aig, width, "booth", a_bits, b_bits, trace)
+
+
+def make_multiplier(width: int, kind: str = "csa", **kwargs) -> GeneratedMultiplier:
+    """Factory used by benchmark sweeps: ``kind`` in {'csa', 'booth'}."""
+    if kind == "csa":
+        return csa_multiplier(width, **kwargs)
+    if kind == "booth":
+        return booth_multiplier(width, **kwargs)
+    raise ValueError(f"unknown multiplier kind {kind!r}")

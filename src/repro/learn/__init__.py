@@ -1,0 +1,60 @@
+"""Learning pipeline: features, datasets, GamoraNet, training, inference."""
+
+from repro.learn.features import FEATURE_MODES, encode_features, num_features
+from repro.learn.data import GraphData, adjacency_operator, batch_graphs, build_graph_data
+from repro.learn.model import (
+    TASK_CLASSES,
+    GamoraNet,
+    ModelConfig,
+    decode_single_task,
+    deep_config,
+    encode_single_task,
+    shallow_config,
+)
+from repro.learn.trainer import TrainConfig, evaluate_model, predict_labels, train_model
+from repro.learn.metrics import (
+    confusion_matrix,
+    multitask_accuracy,
+    per_class_recall,
+    task_accuracy,
+)
+from repro.learn.fast import FastInference, compile_inference
+from repro.learn.infer import (
+    A100_MEMORY_BYTES,
+    InferenceResult,
+    batched_inference,
+    estimate_inference_memory,
+    timed_inference,
+)
+
+__all__ = [
+    "FEATURE_MODES",
+    "encode_features",
+    "num_features",
+    "GraphData",
+    "adjacency_operator",
+    "batch_graphs",
+    "build_graph_data",
+    "TASK_CLASSES",
+    "GamoraNet",
+    "ModelConfig",
+    "decode_single_task",
+    "deep_config",
+    "encode_single_task",
+    "shallow_config",
+    "TrainConfig",
+    "evaluate_model",
+    "predict_labels",
+    "train_model",
+    "confusion_matrix",
+    "multitask_accuracy",
+    "per_class_recall",
+    "task_accuracy",
+    "FastInference",
+    "compile_inference",
+    "A100_MEMORY_BYTES",
+    "InferenceResult",
+    "batched_inference",
+    "estimate_inference_memory",
+    "timed_inference",
+]

@@ -1,0 +1,81 @@
+"""Compiled inference kernel: the deployment path of the model.
+
+Training uses the autodiff :class:`~repro.nn.tensor.Tensor` in float64 for
+gradient fidelity; inference does not need a tape or double precision.
+:class:`FastInference` snapshots a trained GamoraNet's weights into float32
+arrays and evaluates the forward pass with raw NumPy/SciPy kernels — the
+CPU analogue of the paper's optimized GPU deployment, and the engine behind
+the Fig. 7/8 runtime numbers.
+
+Tests assert label-level agreement with the reference float64 forward pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.learn.model import GamoraNet, decode_single_task
+
+__all__ = ["FastInference", "compile_inference"]
+
+
+class FastInference:
+    """Float32 snapshot of a GamoraNet, callable on (features, adjacency)."""
+
+    def __init__(self, model: GamoraNet) -> None:
+        self.config = model.config
+        self.single_task = model.config.single_task
+        self._convs = [
+            (
+                conv.weight.data.astype(np.float32),
+                conv.bias.data.astype(np.float32) if conv.bias is not None else None,
+            )
+            for conv in model.convs
+        ]
+        self._shared = (
+            model.shared.weight.data.astype(np.float32),
+            model.shared.bias.data.astype(np.float32),
+        )
+        self._heads = {
+            task: (
+                head.weight.data.astype(np.float32),
+                head.bias.data.astype(np.float32),
+            )
+            for task, head in model.heads.items()
+        }
+
+    def logits(self, features: np.ndarray,
+               adjacency: sp.spmatrix) -> dict[str, np.ndarray]:
+        """Raw head outputs per task (softmax is monotone — skip it)."""
+        hidden = np.ascontiguousarray(features, dtype=np.float32)
+        adj32 = adjacency.astype(np.float32)
+        for weight, bias in self._convs:
+            neighborhood = adj32 @ hidden
+            stacked = np.concatenate([hidden, neighborhood], axis=1)
+            hidden = stacked @ weight
+            if bias is not None:
+                hidden += bias
+            np.maximum(hidden, 0.0, out=hidden)
+        shared_w, shared_b = self._shared
+        shared = hidden @ shared_w + shared_b
+        np.maximum(shared, 0.0, out=shared)
+        return {
+            task: shared @ weight + bias
+            for task, (weight, bias) in self._heads.items()
+        }
+
+    def predict(self, features: np.ndarray,
+                adjacency: sp.spmatrix) -> dict[str, np.ndarray]:
+        """Hard labels per task, matching :meth:`GamoraNet.predict`."""
+        logits = self.logits(features, adjacency)
+        if self.single_task:
+            return decode_single_task(np.argmax(logits["single"], axis=1))
+        return {task: np.argmax(out, axis=1) for task, out in logits.items()}
+
+    __call__ = predict
+
+
+def compile_inference(model: GamoraNet) -> FastInference:
+    """Snapshot ``model``'s weights into a float32 inference kernel."""
+    return FastInference(model)

@@ -1,0 +1,158 @@
+"""GamoraNet: multi-task GraphSAGE for Boolean reasoning (paper Sec. III).
+
+Architecture (Sec. IV-A):
+
+* a trunk of K ``SAGEConv`` layers with ReLU between them
+  (shallow: K=4, hidden=32; deep: K=8, hidden=80);
+* a shared ``Linear(hidden -> 32)`` + ReLU;
+* one ``Linear(32 -> C_t)`` + log-softmax head per task
+  (Task 1 root/leaf: 4 classes; Task 2 XOR and Task 3 MAJ: 2 each).
+
+The single-task ablation (Fig. 4, left panels) collapses the three tasks
+into one softmax over the 16-class product label space, which is exactly
+the "single-task multi-label node classification" the paper reports as much
+harder to learn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.learn.features import num_features
+from repro.nn.layers import Linear, Module, SAGEConv
+from repro.nn.tensor import Tensor
+from repro.reasoning.adder_tree import NUM_TASK1_CLASSES
+from repro.utils.rng import seeded_rng
+
+__all__ = [
+    "TASK_CLASSES",
+    "ModelConfig",
+    "shallow_config",
+    "deep_config",
+    "GamoraNet",
+    "encode_single_task",
+    "decode_single_task",
+]
+
+TASK_CLASSES = {"root": NUM_TASK1_CLASSES, "xor": 2, "maj": 2}
+_SINGLE_TASK_CLASSES = NUM_TASK1_CLASSES * 2 * 2
+
+
+@dataclass
+class ModelConfig:
+    """Hyper-parameters of a GamoraNet instance."""
+
+    num_layers: int = 4
+    hidden: int = 32
+    shared: int = 32
+    feature_mode: str = "full"
+    direction: str = "in"
+    single_task: bool = False
+    seed: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "num_layers": self.num_layers,
+            "hidden": self.hidden,
+            "shared": self.shared,
+            "feature_mode": self.feature_mode,
+            "direction": self.direction,
+            "single_task": self.single_task,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ModelConfig":
+        return cls(**payload)
+
+
+def shallow_config(**overrides) -> ModelConfig:
+    """4 layers x 32 hidden: CSA multipliers and simple mapping."""
+    config = ModelConfig(num_layers=4, hidden=32)
+    return ModelConfig(**{**config.to_dict(), **overrides})
+
+
+def deep_config(**overrides) -> ModelConfig:
+    """8 layers x 80 hidden: Booth multipliers and complex mapping."""
+    config = ModelConfig(num_layers=8, hidden=80)
+    return ModelConfig(**{**config.to_dict(), **overrides})
+
+
+def encode_single_task(labels: dict[str, np.ndarray]) -> np.ndarray:
+    """Product-space encoding for the single-task ablation."""
+    return labels["root"] + NUM_TASK1_CLASSES * labels["xor"] \
+        + 2 * NUM_TASK1_CLASSES * labels["maj"]
+
+
+def decode_single_task(combined: np.ndarray) -> dict[str, np.ndarray]:
+    """Inverse of :func:`encode_single_task`."""
+    root = combined % NUM_TASK1_CLASSES
+    rest = combined // NUM_TASK1_CLASSES
+    return {"root": root, "xor": rest % 2, "maj": rest // 2}
+
+
+class GamoraNet(Module):
+    """Multi-task GraphSAGE node classifier."""
+
+    def __init__(self, config: ModelConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or ModelConfig()
+        rng = seeded_rng(self.config.seed)
+        in_features = num_features(self.config.feature_mode)
+
+        self.convs: list[SAGEConv] = []
+        width = in_features
+        for index in range(self.config.num_layers):
+            conv = SAGEConv(width, self.config.hidden, rng)
+            self.register_module(f"conv{index}", conv)
+            self.convs.append(conv)
+            width = self.config.hidden
+
+        self.shared = self.register_module(
+            "shared", Linear(width, self.config.shared, rng)
+        )
+        self.heads: dict[str, Linear] = {}
+        if self.config.single_task:
+            head = Linear(self.config.shared, _SINGLE_TASK_CLASSES, rng)
+            self.register_module("head_single", head)
+            self.heads["single"] = head
+        else:
+            for task, classes in TASK_CLASSES.items():
+                head = Linear(self.config.shared, classes, rng)
+                self.register_module(f"head_{task}", head)
+                self.heads[task] = head
+
+    # ------------------------------------------------------------------
+    def forward(self, features: Tensor | np.ndarray,
+                adjacency: sp.spmatrix) -> dict[str, Tensor]:
+        """Log-probabilities per task, each of shape ``(N, C_task)``."""
+        hidden = features if isinstance(features, Tensor) else Tensor(features)
+        for conv in self.convs:
+            hidden = conv(hidden, adjacency).relu()
+        shared = self.shared(hidden).relu()
+        return {task: head(shared).log_softmax() for task, head in self.heads.items()}
+
+    __call__ = forward
+
+    def predict(self, features: np.ndarray,
+                adjacency: sp.spmatrix) -> dict[str, np.ndarray]:
+        """Hard label predictions per task (always the three-task view)."""
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            log_probs = self.forward(features, adjacency)
+        if self.config.single_task:
+            combined = np.argmax(log_probs["single"].data, axis=1)
+            return decode_single_task(combined)
+        return {task: np.argmax(lp.data, axis=1) for task, lp in log_probs.items()}
+
+    def describe(self) -> str:
+        kind = "single-task" if self.config.single_task else "multi-task"
+        return (
+            f"GamoraNet({kind}, {self.config.num_layers} layers x "
+            f"{self.config.hidden} hidden, {self.num_parameters()} parameters, "
+            f"features={self.config.feature_mode}, direction={self.config.direction})"
+        )

@@ -1,0 +1,23 @@
+"""NumPy neural-network substrate: autodiff, layers, optimizers."""
+
+from repro.nn.tensor import Tensor, concat, is_grad_enabled, no_grad, spmm
+from repro.nn.layers import Linear, Module, SAGEConv
+from repro.nn.optim import Adam, Optimizer, SGD
+from repro.nn.init import glorot_uniform, kaiming_uniform, zeros
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "is_grad_enabled",
+    "no_grad",
+    "spmm",
+    "Linear",
+    "Module",
+    "SAGEConv",
+    "Adam",
+    "Optimizer",
+    "SGD",
+    "glorot_uniform",
+    "kaiming_uniform",
+    "zeros",
+]

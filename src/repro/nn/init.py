@@ -1,0 +1,25 @@
+"""Weight initializers (Glorot/Kaiming), seeded for reproducibility."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "kaiming_uniform", "zeros"]
+
+
+def glorot_uniform(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform — the PyG default for SAGEConv weights."""
+    fan_in, fan_out = shape[0], shape[1]
+    limit = float(np.sqrt(6.0 / (fan_in + fan_out)))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Kaiming/He uniform, suited to ReLU trunks."""
+    fan_in = shape[0]
+    limit = float(np.sqrt(6.0 / fan_in))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)

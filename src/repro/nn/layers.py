@@ -1,0 +1,150 @@
+"""Neural modules: Linear, GraphSAGE convolution, and the Module base.
+
+``SAGEConv`` implements Eq. (1) of the paper exactly:
+
+    h_N(v) = mean of neighbor embeddings,
+    h_v    = sigma(W · concat(h_v, h_N(v)))
+
+with neighborhoods given by a pre-normalized sparse adjacency operator (see
+:func:`repro.learn.data.adjacency_operator` for direction conventions).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.nn.init import glorot_uniform, zeros
+from repro.nn.tensor import Tensor, concat, spmm
+
+__all__ = ["Module", "Linear", "SAGEConv"]
+
+
+class Module:
+    """Tiny nn.Module analogue: parameter registry + state dict I/O."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Tensor]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    def register_parameter(self, name: str, tensor: Tensor) -> Tensor:
+        tensor.requires_grad = True
+        self._parameters[name] = tensor
+        return tensor
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        self._modules[name] = module
+        return module
+
+    def parameters(self) -> list[Tensor]:
+        params = list(self._parameters.values())
+        for module in self._modules.values():
+            params.extend(module.parameters())
+        return params
+
+    def named_parameters(self, prefix: str = "") -> list[tuple[str, Tensor]]:
+        items = [(prefix + name, p) for name, p in self._parameters.items()]
+        for mod_name, module in self._modules.items():
+            items.extend(module.named_parameters(prefix + mod_name + "."))
+        return items
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        self.training = True
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    def num_parameters(self) -> int:
+        return sum(p.data.size for p in self.parameters())
+
+    # -- persistence ----------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"parameter {name}: shape {value.shape} != {param.data.shape}"
+                )
+            param.data = value.copy()
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with Glorot initialization."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = self.register_parameter(
+            "weight", Tensor(glorot_uniform((in_features, out_features), rng))
+        )
+        self.bias = (
+            self.register_parameter("bias", Tensor(zeros((out_features,))))
+            if bias
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    __call__ = forward
+
+
+class SAGEConv(Module):
+    """GraphSAGE convolution in the concat form of the paper's Eq. (1).
+
+    ``forward(x, adj)`` expects ``adj`` to be a row-normalized (mean
+    aggregation) sparse operator: row ``v`` averages the chosen
+    neighborhood of ``v``.  Nodes with no neighbors aggregate to zeros.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = self.register_parameter(
+            "weight", Tensor(glorot_uniform((2 * in_features, out_features), rng))
+        )
+        self.bias = (
+            self.register_parameter("bias", Tensor(zeros((out_features,))))
+            if bias
+            else None
+        )
+
+    def forward(self, x: Tensor, adj: sp.spmatrix) -> Tensor:
+        neighborhood = spmm(adj, x)
+        out = concat([x, neighborhood], axis=1) @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    __call__ = forward

@@ -1,0 +1,287 @@
+"""Minimal reverse-mode automatic differentiation over NumPy arrays.
+
+The paper trains GraphSAGE with PyTorch Geometric; this module provides the
+equivalent substrate without torch: a :class:`Tensor` wrapping an
+``np.ndarray`` with a gradient tape.  The op set is deliberately small —
+exactly what multi-task GraphSAGE training needs (dense/sparse matmul,
+broadcasting add, ReLU, concat, log-softmax, NLL, dropout) — and every op's
+backward pass is finite-difference-checked in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["Tensor", "spmm", "concat", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = [True]
+
+
+class no_grad:
+    """Context manager disabling tape construction (inference mode)."""
+
+    def __enter__(self) -> None:
+        _GRAD_ENABLED.append(False)
+
+    def __exit__(self, *exc_info: object) -> None:
+        _GRAD_ENABLED.pop()
+
+
+def is_grad_enabled() -> bool:
+    return _GRAD_ENABLED[-1]
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (reverse of NumPy broadcasting)."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """An array plus (optionally) a node on the gradient tape."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+
+    def __init__(self, data, requires_grad: bool = False,
+                 parents: tuple["Tensor", ...] = (), backward=None) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = requires_grad and is_grad_enabled()
+        self.grad: np.ndarray | None = None
+        self._parents = parents if self.requires_grad else ()
+        self._backward = backward if self.requires_grad else None
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    # ------------------------------------------------------------------
+    # Autograd engine
+    # ------------------------------------------------------------------
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Reverse-accumulate gradients from this (scalar) tensor."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without gradient needs a scalar")
+            grad = np.ones_like(self.data)
+        topo: list[Tensor] = []
+        seen: set[int] = set()
+
+        def visit(node: "Tensor") -> None:
+            stack = [(node, False)]
+            while stack:
+                current, processed = stack.pop()
+                if processed:
+                    topo.append(current)
+                    continue
+                if id(current) in seen or not current.requires_grad:
+                    continue
+                seen.add(id(current))
+                stack.append((current, True))
+                for parent in current._parents:
+                    stack.append((parent, False))
+
+        visit(self)
+        self.grad = np.asarray(grad, dtype=np.float64)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _wrap(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._wrap(other)
+        out_data = self.data + other.data
+        needs = self.requires_grad or other.requires_grad
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor(out_data, needs, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor(-self.data, self.requires_grad, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._wrap(other))
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._wrap(other)
+        out_data = self.data * other.data
+        needs = self.requires_grad or other.requires_grad
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor(out_data, needs, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._wrap(other)
+        out_data = self.data @ other.data
+        needs = self.requires_grad or other.requires_grad
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad @ other.data.T)
+            if other.requires_grad:
+                other._accumulate(self.data.T @ grad)
+
+        return Tensor(out_data, needs, (self, other), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor(self.data * mask, self.requires_grad, (self,), backward)
+
+    def sum(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.broadcast_to(grad, self.shape).copy())
+
+        return Tensor(self.data.sum(), self.requires_grad, (self,), backward)
+
+    def mean(self) -> "Tensor":
+        scale = 1.0 / self.data.size
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.broadcast_to(grad * scale, self.shape).copy())
+
+        return Tensor(self.data.mean(), self.requires_grad, (self,), backward)
+
+    def log_softmax(self) -> "Tensor":
+        """Row-wise log-softmax (last axis), numerically stabilized."""
+        shifted = self.data - self.data.max(axis=-1, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        out_data = shifted - log_z
+        softmax = np.exp(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad - softmax * grad.sum(axis=-1, keepdims=True))
+
+        return Tensor(out_data, self.requires_grad, (self,), backward)
+
+    def nll_loss(self, targets: np.ndarray,
+                 sample_weight: np.ndarray | None = None) -> "Tensor":
+        """Mean negative log-likelihood of integer ``targets``.
+
+        ``self`` holds log-probabilities of shape ``(N, C)``; optional
+        ``sample_weight`` re-weights (or masks, with zeros) each row.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        rows = np.arange(self.data.shape[0])
+        if sample_weight is None:
+            sample_weight = np.ones(self.data.shape[0])
+        sample_weight = np.asarray(sample_weight, dtype=np.float64)
+        total = sample_weight.sum()
+        if total <= 0:
+            raise ValueError("nll_loss needs positive total sample weight")
+        picked = self.data[rows, targets]
+        loss = -(picked * sample_weight).sum() / total
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                full[rows, targets] = -sample_weight / total
+                self._accumulate(full * grad)
+
+        return Tensor(loss, self.requires_grad, (self,), backward)
+
+    def dropout(self, p: float, rng: np.random.Generator,
+                training: bool = True) -> "Tensor":
+        """Inverted dropout; identity when not training or ``p == 0``."""
+        if not training or p <= 0.0:
+            return self
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        mask = (rng.random(self.shape) >= p) / (1.0 - p)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor(self.data * mask, self.requires_grad, (self,), backward)
+
+
+def concat(tensors: list[Tensor], axis: int = 1) -> Tensor:
+    """Concatenate along ``axis`` with gradient routing to every input."""
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    needs = any(t.requires_grad for t in tensors)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(index)])
+
+    return Tensor(data, needs, tuple(tensors), backward)
+
+
+def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
+    """Sparse (constant) × dense (differentiable) product: ``A @ X``.
+
+    The adjacency operator of message passing.  ``A`` carries no gradient;
+    ``grad_X = Aᵀ @ grad_out``.
+    """
+    csr = matrix.tocsr()
+    out_data = csr @ dense.data
+
+    def backward(grad: np.ndarray) -> None:
+        if dense.requires_grad:
+            dense._accumulate(csr.T @ grad)
+
+    return Tensor(out_data, dense.requires_grad, (dense,), backward)

@@ -1,0 +1,42 @@
+"""Exact symbolic reasoning: the conventional baseline Gamora learns to imitate."""
+
+from repro.reasoning.xor_maj import XorMajDetection, detect_xor_maj, ha_carry_candidates
+from repro.reasoning.structural import detect_xor_maj_structural, match_xor_operands
+from repro.reasoning.adder_tree import (
+    NUM_TASK1_CLASSES,
+    TASK1_LEAF,
+    TASK1_OTHER,
+    TASK1_ROOT,
+    TASK1_ROOT_LEAF,
+    AdderTree,
+    ExtractedAdder,
+    extract_adder_tree,
+    ground_truth_labels,
+)
+from repro.reasoning.wordlevel import (
+    WordLevelReport,
+    analyze_adder_tree,
+    compare_adder_trees,
+    partial_product_leaves,
+)
+
+__all__ = [
+    "XorMajDetection",
+    "detect_xor_maj",
+    "ha_carry_candidates",
+    "detect_xor_maj_structural",
+    "match_xor_operands",
+    "NUM_TASK1_CLASSES",
+    "TASK1_LEAF",
+    "TASK1_OTHER",
+    "TASK1_ROOT",
+    "TASK1_ROOT_LEAF",
+    "AdderTree",
+    "ExtractedAdder",
+    "extract_adder_tree",
+    "ground_truth_labels",
+    "WordLevelReport",
+    "analyze_adder_tree",
+    "compare_adder_trees",
+    "partial_product_leaves",
+]

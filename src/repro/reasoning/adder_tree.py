@@ -1,0 +1,257 @@
+"""Adder extraction: pair XOR/MAJ roots into FAs/HAs and derive labels.
+
+Implements the second half of conventional reasoning (paper Sec. II-B and
+III-B3): XOR and MAJ roots with *identical inputs* are matched into full
+adders, XOR2 roots with a matching equal-polarity AND become half adders,
+and the matched slices yield the multi-task ground-truth labels:
+
+* Task 1 — adder boundary: ``other / root / leaf / root+leaf``;
+* Task 2 — XOR root (binary);
+* Task 3 — MAJ root (binary), including matched half-adder carries
+  (MAJ3 with a constant input, cf. node 10 of the paper's Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.aig.graph import AIG, lit_var
+from repro.reasoning.xor_maj import (
+    XorMajDetection,
+    detect_xor_maj,
+    ha_carry_candidates,
+)
+
+__all__ = [
+    "ExtractedAdder",
+    "AdderTree",
+    "extract_adder_tree",
+    "TASK1_OTHER",
+    "TASK1_ROOT",
+    "TASK1_LEAF",
+    "TASK1_ROOT_LEAF",
+    "NUM_TASK1_CLASSES",
+    "ground_truth_labels",
+]
+
+TASK1_OTHER = 0
+TASK1_ROOT = 1
+TASK1_LEAF = 2
+TASK1_ROOT_LEAF = 3
+NUM_TASK1_CLASSES = 4
+
+
+@dataclass(frozen=True)
+class ExtractedAdder:
+    """A matched adder slice: sum root, carry root, and input leaves."""
+
+    kind: str  # "FA" or "HA"
+    sum_var: int
+    carry_var: int
+    leaves: tuple[int, ...]
+
+
+@dataclass
+class AdderTree:
+    """Extraction result with lookup indexes and linkage helpers.
+
+    ``consumed`` holds every variable claimed by a matched slice (roots plus
+    cone interiors); nodes in it cannot appear in further matches.
+    """
+
+    adders: list[ExtractedAdder] = field(default_factory=list)
+    detection: XorMajDetection | None = None
+    consumed: set[int] = field(default_factory=set)
+
+    @property
+    def num_full_adders(self) -> int:
+        return sum(1 for a in self.adders if a.kind == "FA")
+
+    @property
+    def num_half_adders(self) -> int:
+        return sum(1 for a in self.adders if a.kind == "HA")
+
+    def root_vars(self) -> set[int]:
+        roots: set[int] = set()
+        for adder in self.adders:
+            roots.add(adder.sum_var)
+            roots.add(adder.carry_var)
+        return roots
+
+    def leaf_vars(self) -> set[int]:
+        leaves: set[int] = set()
+        for adder in self.adders:
+            leaves.update(adder.leaves)
+        return leaves
+
+    def by_root(self) -> dict[int, ExtractedAdder]:
+        index: dict[int, ExtractedAdder] = {}
+        for adder in self.adders:
+            index[adder.sum_var] = adder
+            index[adder.carry_var] = adder
+        return index
+
+    def links(self) -> list[tuple[int, int]]:
+        """Edges of the adder DAG: ``(producer_index, consumer_index)``
+        whenever one adder's output variable is another adder's leaf."""
+        producer_of: dict[int, int] = {}
+        for index, adder in enumerate(self.adders):
+            producer_of[adder.sum_var] = index
+            producer_of[adder.carry_var] = index
+        edges = []
+        for index, adder in enumerate(self.adders):
+            for leaf in adder.leaves:
+                source = producer_of.get(leaf)
+                if source is not None and source != index:
+                    edges.append((source, index))
+        return edges
+
+
+def _cone_between(aig: AIG, root: int, leaves: set[int]) -> set[int]:
+    """AND variables strictly inside the cone of ``root`` above ``leaves``."""
+    inside: set[int] = set()
+    stack = [root]
+    while stack:
+        var = stack.pop()
+        if var in inside or var in leaves or not aig.is_and(var):
+            continue
+        inside.add(var)
+        f0, f1 = aig.fanins(var)
+        stack.append(lit_var(f0))
+        stack.append(lit_var(f1))
+    return inside
+
+
+def extract_adder_tree(aig: AIG, detection: XorMajDetection | None = None,
+                       max_cuts: int = 10) -> AdderTree:
+    """Pair XOR and MAJ roots with identical inputs into FAs and HAs.
+
+    Full adders are matched first (3-leaf XOR/MAJ pairs); the cone interior
+    of each matched adder is consumed so its private XOR/AND sub-structures
+    (the shared propagate XOR, the generate AND) cannot be re-extracted as
+    spurious half adders — mirroring how exact rewriting consumes matched
+    slices.
+    """
+    if detection is None:
+        detection = detect_xor_maj(aig, max_cuts=max_cuts)
+
+    xor_by_leaves: dict[tuple[int, ...], list[int]] = {}
+    for var, leaf_sets in detection.xor_roots.items():
+        for leaves in leaf_sets:
+            xor_by_leaves.setdefault(leaves, []).append(var)
+
+    tree = AdderTree(detection=detection)
+    consumed = tree.consumed
+
+    # --- Full adders: MAJ3 root + XOR3 root over the same leaves ---------
+    # Maximum bipartite matching between MAJ and XOR roots sharing a leaf
+    # set: greedy pairing can starve a later MAJ of its only partner on
+    # Booth netlists, where XOR roots admit several coincident leaf sets.
+    pair_leaves: dict[tuple[int, int], tuple[int, ...]] = {}
+    graph = nx.Graph()
+    maj_nodes = []
+    for maj_var, leaf_sets in detection.maj_roots.items():
+        maj_node = ("maj", maj_var)
+        for leaves in leaf_sets:
+            for xor_var in xor_by_leaves.get(leaves, ()):
+                if xor_var == maj_var:
+                    continue
+                pair_leaves.setdefault((maj_var, xor_var), leaves)
+                graph.add_edge(maj_node, ("xor", xor_var))
+        if maj_node in graph:
+            maj_nodes.append(maj_node)
+    matching = (
+        nx.bipartite.hopcroft_karp_matching(graph, top_nodes=maj_nodes)
+        if maj_nodes
+        else {}
+    )
+    for maj_node in sorted(maj_nodes, key=lambda node: node[1]):
+        partner = matching.get(maj_node)
+        if partner is None:
+            continue
+        maj_var, xor_var = maj_node[1], partner[1]
+        if maj_var in consumed or xor_var in consumed:
+            continue
+        leaves = pair_leaves[(maj_var, xor_var)]
+        leaf_set = set(leaves)
+        interior = _cone_between(aig, xor_var, leaf_set)
+        interior |= _cone_between(aig, maj_var, leaf_set)
+        tree.adders.append(ExtractedAdder("FA", xor_var, maj_var, leaves))
+        consumed |= interior
+        consumed.add(xor_var)
+        consumed.add(maj_var)
+
+    # --- Half adders: XOR2 root + an AND over the same variable pair ------
+    # The AND may have any fan-in polarities (complemented slice operands
+    # are common at folded boundaries), but must not be one of the XOR's
+    # own interior nodes, which share the same leaf pair.
+    carry_pool = ha_carry_candidates(aig)
+    for xor_var in sorted(detection.xor_roots):
+        if xor_var in consumed:
+            continue
+        for leaves in detection.xor_roots[xor_var]:
+            if len(leaves) != 2:
+                continue
+            pair = (leaves[0], leaves[1])
+            leaf_set = set(leaves)
+            interior = _cone_between(aig, xor_var, leaf_set)
+            carry_var = next(
+                (
+                    c
+                    for c in carry_pool.get(pair, ())
+                    if c not in consumed and c not in interior
+                ),
+                None,
+            )
+            if carry_var is None:
+                continue
+            tree.adders.append(ExtractedAdder("HA", xor_var, carry_var, pair))
+            consumed |= interior
+            consumed.add(xor_var)
+            consumed.add(carry_var)
+            break
+
+    return tree
+
+
+def ground_truth_labels(aig: AIG, detection: XorMajDetection | None = None,
+                        tree: AdderTree | None = None,
+                        max_cuts: int = 10) -> dict[str, np.ndarray]:
+    """Multi-task node labels over all variables (constant + PIs + ANDs).
+
+    Returns arrays of length ``aig.num_vars``:
+
+    * ``"root"`` — Task 1 classes (other/root/leaf/root+leaf);
+    * ``"xor"`` — Task 2 binary XOR-root labels;
+    * ``"maj"`` — Task 3 binary MAJ-root labels.
+    """
+    if detection is None:
+        detection = detect_xor_maj(aig, max_cuts=max_cuts)
+    if tree is None:
+        tree = extract_adder_tree(aig, detection)
+
+    num_vars = aig.num_vars
+    xor_label = np.zeros(num_vars, dtype=np.int64)
+    maj_label = np.zeros(num_vars, dtype=np.int64)
+    root_label = np.zeros(num_vars, dtype=np.int64)
+
+    for var in detection.xor_roots:
+        xor_label[var] = 1
+    for var in detection.maj_roots:
+        maj_label[var] = 1
+    for adder in tree.adders:
+        if adder.kind == "HA":
+            # Matched half-adder carries are MAJ3(a, b, const) — labeled MAJ
+            # exactly as ABC's ground truth labels the paper's node 10.
+            maj_label[adder.carry_var] = 1
+
+    roots = tree.root_vars()
+    leaves = tree.leaf_vars()
+    for var in roots:
+        root_label[var] = TASK1_ROOT
+    for var in leaves:
+        root_label[var] = TASK1_ROOT_LEAF if var in roots else TASK1_LEAF
+    return {"root": root_label, "xor": xor_label, "maj": maj_label}

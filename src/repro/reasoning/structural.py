@@ -1,0 +1,122 @@
+"""Fast structural XOR/MAJ detection (the structural-hashing analogue).
+
+Where :mod:`repro.reasoning.xor_maj` matches cut *functions*, this module
+pattern-matches the small number of AND/INV shapes that XOR and MAJ roots
+take in generated netlists — the Pythonic counterpart of ABC's structural
+recognizers (``Aig_ObjIsExor`` etc.).  It is sound (a match implies the
+function) but deliberately incomplete: re-decomposed netlists, e.g. after
+technology mapping, need the functional detector.  Its value is speed — it
+is linear in the node count with tiny constants, which makes exact ground
+truth practical for very large generated multipliers.
+"""
+
+from __future__ import annotations
+
+from repro.aig.graph import AIG, lit_neg, lit_not, lit_var
+from repro.reasoning.xor_maj import XorMajDetection
+
+__all__ = ["detect_xor_maj_structural", "match_xor_operands"]
+
+
+def match_xor_operands(aig: AIG, var: int) -> tuple[int, int] | None:
+    """If ``var`` tops a 3-AND XOR structure, return its operand literals.
+
+    The shape is ``t = AND(¬u, ¬v)`` with ``u = AND(p, q)`` and
+    ``v = AND(¬p, ¬q)``; then ``t = p ⊕ q`` exactly (for any operand literal
+    polarities — ``XNOR(a, b)`` is simply ``a ⊕ ¬b``).  Returns ``(p, q)``
+    taken from the inner AND whose literals appear positive-first, or None
+    when the shape does not match.
+    """
+    if not aig.is_and(var):
+        return None
+    f0, f1 = aig.fanins(var)
+    if not (lit_neg(f0) and lit_neg(f1)):
+        return None
+    u, v = lit_var(f0), lit_var(f1)
+    if u == v or not (aig.is_and(u) and aig.is_and(v)):
+        return None
+    u0, u1 = aig.fanins(u)
+    v0, v1 = aig.fanins(v)
+    if {u0, u1} == {lit_not(v0), lit_not(v1)}:
+        return u0, u1
+    return None
+
+
+def _match_maj(aig: AIG, var: int,
+               xor_ops: dict[int, tuple[int, int]]) -> tuple[int, int, int] | None:
+    """Match OR-of-AND carry roots: ``g + c·x`` with ``x ≡ l0 ⊕ l1``.
+
+    ``var = AND(¬q0, ¬q1)`` (an OR root, possibly complemented at its
+    reader), ``g = AND(l0, l1)``, and the other branch ``AND(c, x)`` where
+    ``x`` computes ``l0 ⊕ l1`` either as an XOR structure (full-adder form)
+    or as ``l0 + l1`` (the ``a·b + c·(a+b)`` majority form).  Any literal
+    polarities are accepted — the function is then ``MAJ(l0, l1, c)`` over
+    possibly-complemented inputs, which stays in the MAJ NPN class.
+
+    Returns the three leaf *variables* or None.
+    """
+    f0, f1 = aig.fanins(var)
+    if not (lit_neg(f0) and lit_neg(f1)):
+        return None
+    for g_var, t_var in ((lit_var(f0), lit_var(f1)), (lit_var(f1), lit_var(f0))):
+        if not (aig.is_and(g_var) and aig.is_and(t_var)):
+            continue
+        l0, l1 = aig.fanins(g_var)
+        if lit_var(l0) == lit_var(l1):
+            continue
+        t0, t1 = aig.fanins(t_var)
+        for c_lit, x_lit in ((t0, t1), (t1, t0)):
+            x_var = lit_var(x_lit)
+            leaves = (lit_var(l0), lit_var(l1), lit_var(c_lit))
+            if len(set(leaves)) != 3:
+                continue
+            # Full-adder form: x computes l0 ⊕ l1 through an XOR structure.
+            ops = xor_ops.get(x_var)
+            if ops is not None:
+                p, q = ops
+                if {lit_var(p), lit_var(q)} == {lit_var(l0), lit_var(l1)}:
+                    parity = lit_neg(p) ^ lit_neg(q) ^ lit_neg(x_lit)
+                    if parity == (lit_neg(l0) ^ lit_neg(l1)):
+                        return leaves
+            # Majority form: x = l0 + l1 stored as ¬(¬l0 · ¬l1).
+            if lit_neg(x_lit) and aig.is_and(x_var):
+                x0, x1 = aig.fanins(x_var)
+                if {x0, x1} == {lit_not(l0), lit_not(l1)}:
+                    return leaves
+    return None
+
+
+def detect_xor_maj_structural(aig: AIG) -> XorMajDetection:
+    """Linear-time structural detection of XOR and MAJ roots.
+
+    Covers the shapes emitted by :mod:`repro.generators` (shared-XOR full
+    adders, OR-form majorities).  Tests assert agreement with the functional
+    detector on generated multipliers; for re-decomposed (mapped) netlists
+    use :func:`repro.reasoning.xor_maj.detect_xor_maj`.
+    """
+    detection = XorMajDetection()
+    xor_ops: dict[int, tuple[int, int]] = {}
+    for var in aig.and_vars():
+        ops = match_xor_operands(aig, var)
+        if ops is not None:
+            xor_ops[var] = ops
+            leaves = tuple(sorted({lit_var(ops[0]), lit_var(ops[1])}))
+            if len(leaves) == 2:
+                detection.xor_roots[var] = [leaves]
+
+    for var in aig.and_vars():
+        # XOR3 root: an XOR structure whose operand is itself an XOR root.
+        ops = xor_ops.get(var)
+        if ops is not None:
+            for first, second in ((ops[0], ops[1]), (ops[1], ops[0])):
+                inner = xor_ops.get(lit_var(first))
+                if inner is not None:
+                    leaves = tuple(sorted({
+                        lit_var(inner[0]), lit_var(inner[1]), lit_var(second)
+                    }))
+                    if len(leaves) == 3:
+                        detection.xor_roots.setdefault(var, []).append(leaves)
+        maj = _match_maj(aig, var, xor_ops)
+        if maj is not None:
+            detection.maj_roots.setdefault(var, []).append(tuple(sorted(maj)))
+    return detection

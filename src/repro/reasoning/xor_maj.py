@@ -1,0 +1,96 @@
+"""Exact functional detection of XOR/MAJ roots via cut enumeration.
+
+This is the reproduction's equivalent of the conventional reasoning flow the
+paper compares against (ABC's algebraic-rewriting adder extraction, Yu et
+al. TCAD'17): enumerate k-feasible cuts, compute each cut's function, and
+flag roots whose cut function is NPN-equivalent to XOR2/XOR3 or MAJ3.  It is
+exact but slow — which is precisely its role as the Fig. 7 baseline — and it
+is the source of ground-truth labels for training and accuracy evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aig.cuts import enumerate_cuts
+from repro.aig.graph import AIG, lit_neg, lit_var
+from repro.aig.npn import is_maj_truth, is_xor_truth
+
+__all__ = ["XorMajDetection", "detect_xor_maj", "ha_carry_candidates"]
+
+LeafSets = dict[int, list[tuple[int, ...]]]
+
+
+@dataclass
+class XorMajDetection:
+    """XOR/MAJ root detection result.
+
+    ``xor_roots`` / ``maj_roots`` map a root variable to the list of leaf
+    tuples (cuts) under which its function is NPN-XOR / NPN-MAJ.
+    """
+
+    xor_roots: LeafSets = field(default_factory=dict)
+    maj_roots: LeafSets = field(default_factory=dict)
+
+    @property
+    def num_xor(self) -> int:
+        return len(self.xor_roots)
+
+    @property
+    def num_maj(self) -> int:
+        return len(self.maj_roots)
+
+    def is_xor(self, var: int) -> bool:
+        return var in self.xor_roots
+
+    def is_maj(self, var: int) -> bool:
+        return var in self.maj_roots
+
+
+def detect_xor_maj(aig: AIG, max_cuts: int = 10) -> XorMajDetection:
+    """Detect all XOR2/XOR3 and MAJ3 roots by exact cut-function matching.
+
+    Every AND node's 2- and 3-feasible cuts are checked against the NPN
+    classes of XOR and MAJ.  Negation-permutation-negation equivalents count
+    (paper Sec. III-B2), so complemented roots (XNOR, minority) and
+    complemented leaves are all detected.
+    """
+    detection = XorMajDetection()
+    all_cuts = enumerate_cuts(aig, k=3, max_cuts=max_cuts)
+    for var in aig.and_vars():
+        xor_cuts: list[tuple[int, ...]] = []
+        maj_cuts: list[tuple[int, ...]] = []
+        for cut in all_cuts[var]:
+            if cut.size == 2 and is_xor_truth(cut.truth, 2):
+                xor_cuts.append(cut.leaves)
+            elif cut.size == 3:
+                if is_xor_truth(cut.truth, 3):
+                    xor_cuts.append(cut.leaves)
+                elif is_maj_truth(cut.truth, 3):
+                    maj_cuts.append(cut.leaves)
+        if xor_cuts:
+            detection.xor_roots[var] = xor_cuts
+        if maj_cuts:
+            detection.maj_roots[var] = maj_cuts
+    return detection
+
+
+def ha_carry_candidates(aig: AIG) -> dict[tuple[int, int], list[int]]:
+    """AND nodes keyed by their fan-in variable pair: half-adder carry pool.
+
+    The carry of a half adder over operand *literals* ``(l0, l1)`` is the
+    AND ``l0·l1`` — and because slice operands may arrive complemented
+    (boundary ``a+b+1`` folds produce inverted sums), the carry AND can
+    carry any fan-in polarity combination.  All of them satisfy the
+    algebraic half-adder identity ``sum + 2·carry = l0 + l1`` for suitable
+    literals, so every two-distinct-variable AND is a candidate; the
+    extractor filters out the ones interior to the paired XOR structure.
+    """
+    candidates: dict[tuple[int, int], list[int]] = {}
+    for var, f0, f1 in aig.iter_ands():
+        v0, v1 = lit_var(f0), lit_var(f1)
+        if v0 == v1:
+            continue
+        key = (v0, v1) if v0 < v1 else (v1, v0)
+        candidates.setdefault(key, []).append(var)
+    return candidates

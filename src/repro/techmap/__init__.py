@@ -1,0 +1,28 @@
+"""Technology-mapping substrate: libraries, matching, mapping, unmapping."""
+
+from repro.techmap.genlib import Cell, ExprNode, Library, parse_expression, parse_genlib
+from repro.techmap.libraries import FA_CELL_NAME, HA_CELL_NAME, asap7_like, mcnc_reduced
+from repro.techmap.matcher import CellMatch, MatchIndex
+from repro.techmap.netlist import CellInstance, MappedNetlist, simulate_netlist
+from repro.techmap.mapper import MappingError, map_aig
+from repro.techmap.unmap import map_unmap, netlist_to_aig
+
+__all__ = [
+    "Cell",
+    "ExprNode",
+    "Library",
+    "parse_expression",
+    "parse_genlib",
+    "FA_CELL_NAME",
+    "HA_CELL_NAME",
+    "asap7_like",
+    "mcnc_reduced",
+    "CellMatch",
+    "MatchIndex",
+    "CellInstance",
+    "MappedNetlist",
+    "simulate_netlist",
+    "MappingError",
+    "map_aig",
+    "map_unmap",
+]

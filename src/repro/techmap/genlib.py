@@ -1,0 +1,302 @@
+"""Standard-cell library model and genlib-format parser.
+
+The paper maps with ABC's standard-cell mapper against ``mcnc.genlib`` and
+ASAP7.  This module provides the library substrate: a :class:`Cell` with one
+or more outputs described by Boolean expressions, a :class:`Library`
+container, and a parser for the classic SIS *genlib* format::
+
+    GATE nand2 2.0 O=!(a*b); PIN * INV 1 999 1.0 0.2 1.0 0.2
+
+Expressions support ``!`` (NOT), ``*`` (AND), ``+`` (OR), ``^`` (XOR) and
+parentheses, plus the constants ``CONST0``/``CONST1``.  Multi-output cells
+(full/half adders — genlib cannot express them) are built programmatically
+by :mod:`repro.techmap.libraries`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aig.truth import truth_mask
+
+__all__ = ["ExprNode", "parse_expression", "Cell", "Library", "parse_genlib"]
+
+
+# ----------------------------------------------------------------------
+# Boolean expression AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExprNode:
+    """AST node: op in {'var', 'const', 'not', 'and', 'or', 'xor'}."""
+
+    op: str
+    children: tuple["ExprNode", ...] = ()
+    name: str = ""
+    value: int = 0
+
+    def variables(self, ordered: list[str] | None = None) -> list[str]:
+        """Variable names in first-appearance order."""
+        if ordered is None:
+            ordered = []
+        if self.op == "var":
+            if self.name not in ordered:
+                ordered.append(self.name)
+        for child in self.children:
+            child.variables(ordered)
+        return ordered
+
+    def evaluate(self, assignment: dict[str, int]) -> int:
+        if self.op == "var":
+            return assignment[self.name]
+        if self.op == "const":
+            return self.value
+        if self.op == "not":
+            return 1 - self.children[0].evaluate(assignment)
+        values = [child.evaluate(assignment) for child in self.children]
+        if self.op == "and":
+            return int(all(values))
+        if self.op == "or":
+            return int(any(values))
+        if self.op == "xor":
+            return sum(values) & 1
+        raise ValueError(f"unknown op {self.op!r}")
+
+
+class _ExprParser:
+    """Recursive descent over: or > xor > and > unary > atom."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def parse(self) -> ExprNode:
+        node = self._or()
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise ValueError(f"trailing input in expression: {self.text[self.pos:]!r}")
+        return node
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self) -> str:
+        self._skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _or(self) -> ExprNode:
+        terms = [self._xor()]
+        while self._peek() == "+":
+            self.pos += 1
+            terms.append(self._xor())
+        return terms[0] if len(terms) == 1 else ExprNode("or", tuple(terms))
+
+    def _xor(self) -> ExprNode:
+        terms = [self._and()]
+        while self._peek() == "^":
+            self.pos += 1
+            terms.append(self._and())
+        return terms[0] if len(terms) == 1 else ExprNode("xor", tuple(terms))
+
+    def _and(self) -> ExprNode:
+        terms = [self._unary()]
+        while True:
+            nxt = self._peek()
+            if nxt == "*":
+                self.pos += 1
+                terms.append(self._unary())
+            elif nxt and (nxt.isalnum() or nxt in "!(_"):
+                # genlib allows implicit AND by juxtaposition.
+                terms.append(self._unary())
+            else:
+                break
+        return terms[0] if len(terms) == 1 else ExprNode("and", tuple(terms))
+
+    def _unary(self) -> ExprNode:
+        nxt = self._peek()
+        if nxt == "!":
+            self.pos += 1
+            node = self._unary()
+            return ExprNode("not", (node,))
+        node = self._atom()
+        # Postfix complement: a'
+        while self._peek() == "'":
+            self.pos += 1
+            node = ExprNode("not", (node,))
+        return node
+
+    def _atom(self) -> ExprNode:
+        nxt = self._peek()
+        if nxt == "(":
+            self.pos += 1
+            node = self._or()
+            if self._peek() != ")":
+                raise ValueError("unbalanced parenthesis in expression")
+            self.pos += 1
+            return node
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] == "_"
+        ):
+            self.pos += 1
+        token = self.text[start:self.pos]
+        if not token:
+            raise ValueError(f"expected operand at position {start} of {self.text!r}")
+        if token == "CONST0":
+            return ExprNode("const", value=0)
+        if token == "CONST1":
+            return ExprNode("const", value=1)
+        return ExprNode("var", name=token)
+
+
+def parse_expression(text: str) -> ExprNode:
+    """Parse a genlib Boolean expression into an AST."""
+    return _ExprParser(text).parse()
+
+
+# ----------------------------------------------------------------------
+# Cells and libraries
+# ----------------------------------------------------------------------
+@dataclass
+class Cell:
+    """A standard cell: ordered pins, one or more named outputs."""
+
+    name: str
+    area: float
+    pins: list[str]
+    outputs: dict[str, ExprNode]
+
+    def __post_init__(self) -> None:
+        self._truths: dict[str, int] = {}
+        for out_name, expr in self.outputs.items():
+            self._truths[out_name] = self._truth_of(expr)
+
+    def _truth_of(self, expr: ExprNode) -> int:
+        table = 0
+        k = len(self.pins)
+        for minterm in range(1 << k):
+            assignment = {
+                pin: (minterm >> i) & 1 for i, pin in enumerate(self.pins)
+            }
+            if expr.evaluate(assignment):
+                table |= 1 << minterm
+        return table
+
+    @property
+    def num_pins(self) -> int:
+        return len(self.pins)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    @property
+    def is_multi_output(self) -> bool:
+        return len(self.outputs) > 1
+
+    def truth(self, output: str | None = None) -> int:
+        """Truth table of an output over the pin order."""
+        if output is None:
+            if self.num_outputs != 1:
+                raise ValueError(f"cell {self.name} has {self.num_outputs} outputs")
+            return next(iter(self._truths.values()))
+        return self._truths[output]
+
+    def __repr__(self) -> str:
+        return f"Cell({self.name}, pins={self.pins}, area={self.area})"
+
+
+@dataclass
+class Library:
+    """A named collection of cells with convenience lookups."""
+
+    name: str
+    cells: list[Cell] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_name = {cell.name: cell for cell in self.cells}
+        if len(self._by_name) != len(self.cells):
+            raise ValueError("duplicate cell names in library")
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __getitem__(self, name: str) -> Cell:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def single_output_cells(self) -> list[Cell]:
+        return [cell for cell in self.cells if not cell.is_multi_output]
+
+    def multi_output_cells(self) -> list[Cell]:
+        return [cell for cell in self.cells if cell.is_multi_output]
+
+    @property
+    def max_arity(self) -> int:
+        return max((cell.num_pins for cell in self.cells), default=0)
+
+    def find(self, predicate) -> Cell | None:
+        return next((cell for cell in self.cells if predicate(cell)), None)
+
+    def inverter(self) -> Cell:
+        """Smallest cell computing NOT — required by the mapper."""
+        best = None
+        for cell in self.single_output_cells():
+            if cell.num_pins == 1 and cell.truth() == 0b01:
+                if best is None or cell.area < best.area:
+                    best = cell
+        if best is None:
+            raise ValueError(f"library {self.name} has no inverter")
+        return best
+
+    def buffer(self) -> Cell | None:
+        for cell in self.single_output_cells():
+            if cell.num_pins == 1 and cell.truth() == 0b10:
+                return cell
+        return None
+
+    def constant(self, value: int) -> Cell | None:
+        target = truth_mask(0) if value else 0
+        for cell in self.single_output_cells():
+            if cell.num_pins == 0 and cell.truth() == target:
+                return cell
+        return None
+
+
+def parse_genlib(text: str, name: str = "genlib") -> Library:
+    """Parse genlib text into a :class:`Library`.
+
+    PIN lines are accepted and ignored (timing data is not modeled); pin
+    order is taken from first appearance in the output expression, matching
+    ABC's behavior for symmetric genlib gates.
+    """
+    cells: list[Cell] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line or line.upper().startswith("PIN"):
+            continue
+        if not line.upper().startswith("GATE"):
+            continue
+        # GATE <name> <area> <out>=<expr>; [PIN ...]
+        body = line[4:].strip()
+        parts = body.split(None, 2)
+        if len(parts) < 3:
+            raise ValueError(f"malformed GATE line: {raw_line!r}")
+        gate_name, area_text, rest = parts
+        expr_part = rest.split(";", 1)[0]
+        if "=" not in expr_part:
+            raise ValueError(f"GATE {gate_name}: missing '=' in {expr_part!r}")
+        out_name, expr_text = expr_part.split("=", 1)
+        expr = parse_expression(expr_text.strip())
+        pins = expr.variables()
+        cells.append(
+            Cell(
+                name=gate_name,
+                area=float(area_text),
+                pins=pins,
+                outputs={out_name.strip(): expr},
+            )
+        )
+    return Library(name=name, cells=cells)

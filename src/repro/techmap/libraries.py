@@ -1,0 +1,137 @@
+"""Built-in technology libraries.
+
+Two libraries mirror the paper's Sec. IV-A setup:
+
+* :func:`mcnc_reduced` — the reduced MCNC standard-cell library from the
+  SIS distribution, gate input size ≤ 3 ("simple technology mapping");
+* :func:`asap7_like` — an ASAP7-flavored library: richer combinational
+  cells up to 4 inputs *plus multi-output full/half-adder cells*
+  (``FAx1``/``HAx1``), the ingredient that makes post-mapping netlists
+  "significantly more complex and irregular" for reasoning.
+
+Cell areas are representative ratios, not process data; what the
+experiments depend on is the *coverage structure* of the cells, not their
+physical numbers.  Both libraries are constructed through the genlib parser
+(multi-output adders are appended programmatically since genlib cannot
+express them).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.techmap.genlib import Cell, Library, parse_genlib
+
+__all__ = ["mcnc_reduced", "asap7_like", "FA_CELL_NAME", "HA_CELL_NAME"]
+
+FA_CELL_NAME = "FAx1"
+HA_CELL_NAME = "HAx1"
+
+_MCNC_REDUCED_GENLIB = """
+# Reduced MCNC/SIS library: gate input size <= 3 (paper Sec. IV-A).
+GATE zero    0.0  O=CONST0;
+GATE one     0.0  O=CONST1;
+GATE buf     1.0  O=a;                       PIN * NONINV 1 999 1.0 0.0 1.0 0.0
+GATE inv1    1.0  O=!a;                      PIN * INV 1 999 1.0 0.0 1.0 0.0
+GATE nand2   2.0  O=!(a*b);                  PIN * INV 1 999 1.0 0.0 1.0 0.0
+GATE nor2    2.0  O=!(a+b);                  PIN * INV 1 999 1.0 0.0 1.0 0.0
+GATE and2    3.0  O=a*b;                     PIN * NONINV 1 999 1.0 0.0 1.0 0.0
+GATE or2     3.0  O=a+b;                     PIN * NONINV 1 999 1.0 0.0 1.0 0.0
+GATE nand3   3.0  O=!(a*b*c);                PIN * INV 1 999 1.0 0.0 1.0 0.0
+GATE nor3    3.0  O=!(a+b+c);                PIN * INV 1 999 1.0 0.0 1.0 0.0
+GATE and3    4.0  O=a*b*c;                   PIN * NONINV 1 999 1.0 0.0 1.0 0.0
+GATE or3     4.0  O=a+b+c;                   PIN * NONINV 1 999 1.0 0.0 1.0 0.0
+GATE xor2    4.0  O=a^b;                     PIN * UNKNOWN 2 999 1.0 0.0 1.0 0.0
+GATE xnor2   4.0  O=!(a^b);                  PIN * UNKNOWN 2 999 1.0 0.0 1.0 0.0
+GATE aoi21   3.0  O=!((a*b)+c);              PIN * INV 1 999 1.0 0.0 1.0 0.0
+GATE oai21   3.0  O=!((a+b)*c);              PIN * INV 1 999 1.0 0.0 1.0 0.0
+GATE aoi22   4.0  O=!((a*b)+(c*d));          PIN * INV 1 999 1.0 0.0 1.0 0.0
+GATE mux21   5.0  O=(s*a)+(!s*b);            PIN * UNKNOWN 2 999 1.0 0.0 1.0 0.0
+"""
+
+_ASAP7_LIKE_GENLIB = """
+# ASAP7-flavored library: wider cells and complex AOI/OAI shapes.
+GATE TIELOx1    0.0  O=CONST0;
+GATE TIEHIx1    0.0  O=CONST1;
+GATE BUFx2      1.0  O=a;
+GATE INVx1      0.7  O=!a;
+GATE NAND2x1    1.0  O=!(a*b);
+GATE NOR2x1     1.0  O=!(a+b);
+GATE AND2x2     1.3  O=a*b;
+GATE OR2x2      1.3  O=a+b;
+GATE NAND3x1    1.4  O=!(a*b*c);
+GATE NOR3x1     1.4  O=!(a+b+c);
+GATE AND3x1     1.7  O=a*b*c;
+GATE OR3x1      1.7  O=a+b+c;
+GATE NAND4x1    1.8  O=!(a*b*c*d);
+GATE NOR4x1     1.8  O=!(a+b+c+d);
+GATE AND4x1     2.1  O=a*b*c*d;
+GATE OR4x1      2.1  O=a+b+c+d;
+GATE XOR2x1     2.0  O=a^b;
+GATE XNOR2x1    2.0  O=!(a^b);
+GATE XOR3x1     3.2  O=a^b^c;
+GATE XNOR3x1    3.2  O=!(a^b^c);
+GATE AOI21x1    1.2  O=!((a*b)+c);
+GATE OAI21x1    1.2  O=!((a+b)*c);
+GATE AOI22x1    1.5  O=!((a*b)+(c*d));
+GATE OAI22x1    1.5  O=!((a+b)*(c+d));
+GATE AOI211x1   1.6  O=!((a*b)+c+d);
+GATE OAI211x1   1.6  O=!((a+b)*c*d);
+GATE AO21x1     1.4  O=(a*b)+c;
+GATE OA21x1     1.4  O=(a+b)*c;
+GATE AO22x1     1.7  O=(a*b)+(c*d);
+GATE OA22x1     1.7  O=(a+b)*(c+d);
+GATE MAJ3x1     2.6  O=(a*b)+(a*c)+(b*c);
+GATE MAJI3x1    2.6  O=!((a*b)+(a*c)+(b*c));
+GATE MUX2x1     2.2  O=(s*a)+(!s*b);
+GATE MUXI2x1    2.2  O=!((s*a)+(!s*b));
+"""
+
+
+def _adder_cells() -> list[Cell]:
+    """Multi-output FAx1/HAx1 cells (ASAP7 ships real multi-output adders).
+
+    Note the carry expression uses the *OR-of-products majority form* — when
+    these cells are expanded back into an AIG, the carry structure differs
+    from the shared-XOR form the generators emit, which is exactly the
+    structural shift that degrades reasoning after 7nm mapping (Fig. 5).
+    """
+    from repro.techmap.genlib import parse_expression
+
+    fa = Cell(
+        name=FA_CELL_NAME,
+        area=4.3,
+        pins=["a", "b", "ci"],
+        outputs={
+            # Sum-of-products forms, as liberty files describe cells; the
+            # re-expanded AIG shape shares nothing with the shared-XOR
+            # full adders the generators emit.
+            "sn": parse_expression(
+                "(a*!b*!ci)+(!a*b*!ci)+(!a*!b*ci)+(a*b*ci)"
+            ),
+            "con": parse_expression("(a*b)+(a*ci)+(b*ci)"),
+        },
+    )
+    ha = Cell(
+        name=HA_CELL_NAME,
+        area=2.8,
+        pins=["a", "b"],
+        outputs={
+            "sn": parse_expression("a^b"),
+            "con": parse_expression("a*b"),
+        },
+    )
+    return [fa, ha]
+
+
+@lru_cache(maxsize=None)
+def mcnc_reduced() -> Library:
+    """The ≤3-input reduced MCNC library ("simple technology mapping")."""
+    return parse_genlib(_MCNC_REDUCED_GENLIB, name="mcnc-reduced")
+
+
+@lru_cache(maxsize=None)
+def asap7_like() -> Library:
+    """ASAP7-flavored library with multi-output adder cells."""
+    base = parse_genlib(_ASAP7_LIKE_GENLIB, name="asap7-like")
+    return Library(name="asap7-like", cells=base.cells + _adder_cells())

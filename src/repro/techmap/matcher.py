@@ -1,0 +1,79 @@
+"""Boolean matching: cut functions against library cells, modulo NPN.
+
+For every single-output cell the whole NPN orbit of its function is indexed
+by raw truth table, so matching a cut is a dictionary lookup that also
+recovers *how* to hook the cut's leaves to the cell's pins (permutation,
+per-pin inversions, output inversion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aig.npn import all_npn_transforms
+from repro.techmap.genlib import Cell, Library
+
+__all__ = ["CellMatch", "MatchIndex"]
+
+
+@dataclass(frozen=True)
+class CellMatch:
+    """A library match for a cut function.
+
+    Semantics (see :func:`repro.aig.npn.apply_transform`): the cut function
+    equals ``cell(y) ^ out_flip`` where cell pin ``perm[j]`` is driven by
+    cut leaf ``j`` complemented by ``flips[j]``.
+    """
+
+    cell: Cell
+    perm: tuple[int, ...]
+    flips: tuple[int, ...]
+    out_flip: int
+
+    def pin_drivers(self, leaves: tuple[int, ...]) -> list[tuple[int, int]]:
+        """Per-pin ``(leaf_var, inverted)`` in the cell's pin order."""
+        drivers: list[tuple[int, int]] = [(-1, 0)] * len(leaves)
+        for j, leaf in enumerate(leaves):
+            drivers[self.perm[j]] = (leaf, self.flips[j])
+        return drivers
+
+    @property
+    def extra_inverters(self) -> int:
+        """Inverters this match forces (complemented pins + output)."""
+        return sum(self.flips) + self.out_flip
+
+
+class MatchIndex:
+    """NPN match tables for a library, built once and reused per map call."""
+
+    def __init__(self, library: Library, max_arity: int = 4) -> None:
+        self.library = library
+        self.max_arity = max_arity
+        self._tables: dict[int, dict[int, CellMatch]] = {}
+        for cell in library.single_output_cells():
+            k = cell.num_pins
+            if k < 1 or k > max_arity:
+                continue
+            orbit = all_npn_transforms(cell.truth(), k)
+            table = self._tables.setdefault(k, {})
+            for truth, (perm, flips, out_flip) in orbit.items():
+                match = CellMatch(cell, perm, flips, out_flip)
+                incumbent = table.get(truth)
+                if incumbent is None or self._better(match, incumbent):
+                    table[truth] = match
+
+    @staticmethod
+    def _better(candidate: CellMatch, incumbent: CellMatch) -> bool:
+        """Prefer smaller area, then fewer forced inverters."""
+        return (candidate.cell.area, candidate.extra_inverters) < (
+            incumbent.cell.area,
+            incumbent.extra_inverters,
+        )
+
+    def match(self, truth: int, num_leaves: int) -> CellMatch | None:
+        """Best cell realizing a ``num_leaves``-input cut function, or None."""
+        return self._tables.get(num_leaves, {}).get(truth)
+
+    def coverage(self, num_leaves: int) -> int:
+        """How many distinct functions of that arity the library covers."""
+        return len(self._tables.get(num_leaves, {}))

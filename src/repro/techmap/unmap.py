@@ -1,0 +1,71 @@
+"""Expand a mapped netlist back into an AIG ("strash after mapping").
+
+Post-mapping reasoning in the paper operates on the AIG obtained by
+re-structuring the mapped netlist (ABC: ``map; strash``).  Each cell output
+expression is rebuilt with AIG gate constructors, so the resulting AIG is
+functionally equivalent to — but structurally different from — the original:
+XOR3 cells re-decompose as balanced chains, FAx1 carries come back in the
+OR-of-products majority form, and AOI/OAI cells produce shapes the
+generators never emit.  That structural shift is the whole point of the
+Fig. 5 experiment.
+"""
+
+from __future__ import annotations
+
+from repro.aig.graph import AIG, CONST0, CONST1, lit_not
+from repro.techmap.genlib import ExprNode
+from repro.techmap.netlist import NET_CONST0, NET_CONST1, MappedNetlist
+
+__all__ = ["netlist_to_aig", "map_unmap"]
+
+
+def _build_expr(aig: AIG, expr: ExprNode, pin_lits: dict[str, int]) -> int:
+    if expr.op == "var":
+        return pin_lits[expr.name]
+    if expr.op == "const":
+        return CONST1 if expr.value else CONST0
+    if expr.op == "not":
+        return lit_not(_build_expr(aig, expr.children[0], pin_lits))
+    lits = [_build_expr(aig, child, pin_lits) for child in expr.children]
+    if expr.op == "and":
+        return aig.add_and_multi(lits)
+    if expr.op == "or":
+        return aig.add_or_multi(lits)
+    if expr.op == "xor":
+        result = lits[0]
+        for lit in lits[1:]:
+            result = aig.add_xor(result, lit)
+        return result
+    raise ValueError(f"unknown expression op {expr.op!r}")
+
+
+def netlist_to_aig(netlist: MappedNetlist, name: str | None = None) -> AIG:
+    """Rebuild an AIG from a mapped netlist (with structural hashing)."""
+    aig = AIG(name=name or f"{netlist.name}_unmapped")
+    net_lit: dict[int, int] = {NET_CONST0: CONST0, NET_CONST1: CONST1}
+    for i in range(netlist.num_inputs):
+        input_name = (
+            netlist.input_names[i] if i < len(netlist.input_names) else None
+        )
+        net_lit[netlist.input_net(i)] = aig.add_input(input_name)
+    for inst in netlist.cells:
+        pin_lits = {
+            pin: net_lit[net] for pin, net in zip(inst.cell.pins, inst.input_nets)
+        }
+        for out_net, expr in zip(inst.output_nets, inst.cell.outputs.values()):
+            net_lit[out_net] = _build_expr(aig, expr, pin_lits)
+    for net, po_name in zip(netlist.po_nets, netlist.po_names):
+        aig.add_output(net_lit[net], po_name)
+    return aig
+
+
+def map_unmap(aig: AIG, library, **map_kwargs) -> AIG:
+    """Convenience: ``map`` then re-expand to an AIG in one call.
+
+    This is the transformation applied to every benchmark of the paper's
+    Fig. 5 before reasoning on "post-mapping" netlists.
+    """
+    from repro.techmap.mapper import map_aig
+
+    mapped = map_aig(aig, library, **map_kwargs)
+    return netlist_to_aig(mapped, name=f"{aig.name}_{library.name}")

@@ -1,0 +1,6 @@
+"""Small shared utilities: timing, RNG seeding, and formatting helpers."""
+
+from repro.utils.timing import Timer, format_seconds
+from repro.utils.rng import seeded_rng
+
+__all__ = ["Timer", "format_seconds", "seeded_rng"]

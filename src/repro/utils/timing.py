@@ -1,0 +1,54 @@
+"""Wall-clock timing helpers used by benchmarks and the runtime figures."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    def restart(self) -> None:
+        """Reset the start time (for manual lap timing)."""
+        self._start = time.perf_counter()
+
+    def lap(self) -> float:
+        """Seconds since construction or the last :meth:`restart`."""
+        return time.perf_counter() - self._start
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-friendly rendering of a duration, e.g. ``'1.23 ms'``.
+
+    >>> format_seconds(0.00123)
+    '1.23 ms'
+    >>> format_seconds(75.0)
+    '1m 15.0s'
+    """
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f} s"
+    minutes, rem = divmod(seconds, 60.0)
+    return f"{int(minutes)}m {rem:.1f}s"

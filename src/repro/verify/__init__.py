@@ -1,0 +1,23 @@
+"""SCA multiplier verification — the downstream application of adder trees."""
+
+from repro.verify.bdd import BDD
+from repro.verify.cec import CecResult, build_output_bdds, check_equivalence
+from repro.verify.polynomial import Polynomial
+from repro.verify.sca import (
+    SCAResult,
+    TermExplosion,
+    signature_polynomial,
+    verify_multiplier,
+)
+
+__all__ = [
+    "BDD",
+    "CecResult",
+    "build_output_bdds",
+    "check_equivalence",
+    "Polynomial",
+    "SCAResult",
+    "TermExplosion",
+    "signature_polynomial",
+    "verify_multiplier",
+]

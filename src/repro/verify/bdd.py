@@ -1,0 +1,180 @@
+"""Reduced Ordered Binary Decision Diagrams (ROBDDs).
+
+A compact BDD package sufficient for exact combinational equivalence
+checking of the netlists this repo produces: hash-consed nodes, memoized
+ITE, complement handling by construction (no complement edges — NOT is an
+ITE), and satisfiability counting.  BDDs are the second exact engine next
+to exhaustive simulation: canonical forms mean two functions are equal iff
+their node references are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BDD", "BddRef"]
+
+BddRef = int  # index into the manager's node table
+
+
+@dataclass(frozen=True)
+class _Node:
+    var: int  # variable level (smaller = closer to the root)
+    low: BddRef
+    high: BddRef
+
+
+class BDD:
+    """A BDD manager over a fixed variable order ``0 .. num_vars-1``."""
+
+    FALSE: BddRef = 0
+    TRUE: BddRef = 1
+
+    def __init__(self, num_vars: int) -> None:
+        if num_vars < 0:
+            raise ValueError("variable count must be non-negative")
+        self.num_vars = num_vars
+        # Terminal pseudo-nodes occupy slots 0/1 with an out-of-range level.
+        self._nodes: list[_Node] = [
+            _Node(num_vars, 0, 0),
+            _Node(num_vars, 1, 1),
+        ]
+        self._unique: dict[tuple[int, BddRef, BddRef], BddRef] = {}
+        self._ite_cache: dict[tuple[BddRef, BddRef, BddRef], BddRef] = {}
+
+    # ------------------------------------------------------------------
+    def var(self, index: int) -> BddRef:
+        """The projection function of variable ``index``."""
+        if not 0 <= index < self.num_vars:
+            raise ValueError(f"variable {index} out of range")
+        return self._mk(index, self.FALSE, self.TRUE)
+
+    def _mk(self, var: int, low: BddRef, high: BddRef) -> BddRef:
+        if low == high:
+            return low
+        key = (var, low, high)
+        existing = self._unique.get(key)
+        if existing is not None:
+            return existing
+        ref = len(self._nodes)
+        self._nodes.append(_Node(var, low, high))
+        self._unique[key] = ref
+        return ref
+
+    def _level(self, ref: BddRef) -> int:
+        return self._nodes[ref].var
+
+    def _cofactor(self, ref: BddRef, var: int) -> tuple[BddRef, BddRef]:
+        node = self._nodes[ref]
+        if node.var == var:
+            return node.low, node.high
+        return ref, ref
+
+    # ------------------------------------------------------------------
+    def ite(self, cond: BddRef, then_ref: BddRef, else_ref: BddRef) -> BddRef:
+        """If-then-else — the universal connective."""
+        if cond == self.TRUE:
+            return then_ref
+        if cond == self.FALSE:
+            return else_ref
+        if then_ref == else_ref:
+            return then_ref
+        if then_ref == self.TRUE and else_ref == self.FALSE:
+            return cond
+        key = (cond, then_ref, else_ref)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self._level(cond), self._level(then_ref), self._level(else_ref))
+        c0, c1 = self._cofactor(cond, top)
+        t0, t1 = self._cofactor(then_ref, top)
+        e0, e1 = self._cofactor(else_ref, top)
+        result = self._mk(top, self.ite(c0, t0, e0), self.ite(c1, t1, e1))
+        self._ite_cache[key] = result
+        return result
+
+    def apply_not(self, ref: BddRef) -> BddRef:
+        return self.ite(ref, self.FALSE, self.TRUE)
+
+    def apply_and(self, left: BddRef, right: BddRef) -> BddRef:
+        return self.ite(left, right, self.FALSE)
+
+    def apply_or(self, left: BddRef, right: BddRef) -> BddRef:
+        return self.ite(left, self.TRUE, right)
+
+    def apply_xor(self, left: BddRef, right: BddRef) -> BddRef:
+        return self.ite(left, self.apply_not(right), right)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, ref: BddRef, assignment: list[int] | tuple[int, ...]) -> int:
+        """Evaluate under a 0/1 assignment to all variables."""
+        while ref not in (self.FALSE, self.TRUE):
+            node = self._nodes[ref]
+            ref = node.high if assignment[node.var] else node.low
+        return int(ref == self.TRUE)
+
+    def count_sat(self, ref: BddRef) -> int:
+        """Number of satisfying assignments over all ``num_vars`` inputs."""
+        memo: dict[BddRef, int] = {self.FALSE: 0, self.TRUE: 1 << self.num_vars}
+
+        def count(node_ref: BddRef) -> int:
+            cached = memo.get(node_ref)
+            if cached is not None:
+                return cached
+            node = self._nodes[node_ref]
+            # Each child count is over the full space; halve per decision.
+            total = (count(node.low) + count(node.high)) // 2
+            memo[node_ref] = total
+            return total
+
+        return count(ref)
+
+    def any_sat(self, ref: BddRef) -> list[int] | None:
+        """One satisfying assignment (list of 0/1 per variable), or None."""
+        if ref == self.FALSE:
+            return None
+        assignment = [0] * self.num_vars
+        while ref != self.TRUE:
+            node = self._nodes[ref]
+            if node.high != self.FALSE:
+                assignment[node.var] = 1
+                ref = node.high
+            else:
+                assignment[node.var] = 0
+                ref = node.low
+        return assignment
+
+    def support(self, ref: BddRef) -> set[int]:
+        """Variables the function depends on."""
+        seen: set[BddRef] = set()
+        variables: set[int] = set()
+        stack = [ref]
+        while stack:
+            current = stack.pop()
+            if current in (self.FALSE, self.TRUE) or current in seen:
+                continue
+            seen.add(current)
+            node = self._nodes[current]
+            variables.add(node.var)
+            stack.append(node.low)
+            stack.append(node.high)
+        return variables
+
+    @property
+    def num_nodes(self) -> int:
+        """Total allocated (shared) nodes, including terminals."""
+        return len(self._nodes)
+
+    def size(self, ref: BddRef) -> int:
+        """Nodes reachable from ``ref`` (its canonical-form size)."""
+        seen: set[BddRef] = set()
+        stack = [ref]
+        while stack:
+            current = stack.pop()
+            if current in (self.FALSE, self.TRUE) or current in seen:
+                continue
+            seen.add(current)
+            node = self._nodes[current]
+            stack.append(node.low)
+            stack.append(node.high)
+        return len(seen) + 2

@@ -1,0 +1,134 @@
+"""Multilinear integer polynomials over Boolean node variables.
+
+The algebra of symbolic computer algebra (SCA) verification: Boolean
+signals become 0/1 integer variables, complement is ``1 - x``, and the
+idempotence ``x² = x`` makes every polynomial multilinear — monomials are
+plain variable *sets*, which the representation enforces structurally
+(a monomial is a ``frozenset``).
+"""
+
+from __future__ import annotations
+
+from repro.aig.graph import lit_neg, lit_var
+
+__all__ = ["Polynomial"]
+
+Monomial = frozenset
+
+
+class Polynomial:
+    """A multilinear polynomial: ``{frozenset(vars): int coefficient}``."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: dict[Monomial, int] | None = None) -> None:
+        self.terms: dict[Monomial, int] = {}
+        if terms:
+            for monomial, coeff in terms.items():
+                if coeff:
+                    self.terms[monomial] = coeff
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def constant(cls, value: int) -> "Polynomial":
+        return cls({Monomial(): value} if value else {})
+
+    @classmethod
+    def variable(cls, var: int) -> "Polynomial":
+        return cls({Monomial((var,)): 1})
+
+    @classmethod
+    def from_literal(cls, lit: int) -> "Polynomial":
+        """Boolean literal as a polynomial: ``x`` or ``1 - x``."""
+        var = lit_var(lit)
+        if var == 0:
+            return cls.constant(lit_neg(lit))  # const literal 0 or 1
+        if lit_neg(lit):
+            return cls({Monomial(): 1, Monomial((var,)): -1})
+        return cls.variable(var)
+
+    # -- arithmetic -------------------------------------------------------
+    def _add_term(self, monomial: Monomial, coeff: int) -> None:
+        updated = self.terms.get(monomial, 0) + coeff
+        if updated:
+            self.terms[monomial] = updated
+        else:
+            self.terms.pop(monomial, None)
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        result = Polynomial(dict(self.terms))
+        for monomial, coeff in other.terms.items():
+            result._add_term(monomial, coeff)
+        return result
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        return self + other.scale(-1)
+
+    def scale(self, factor: int) -> "Polynomial":
+        if factor == 0:
+            return Polynomial()
+        return Polynomial({m: c * factor for m, c in self.terms.items()})
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        result = Polynomial()
+        for m1, c1 in self.terms.items():
+            for m2, c2 in other.terms.items():
+                # x² = x: set union implements idempotent reduction.
+                result._add_term(m1 | m2, c1 * c2)
+        return result
+
+    # -- substitution -----------------------------------------------------
+    def substitute(self, var: int, replacement: "Polynomial") -> "Polynomial":
+        """Replace every occurrence of ``var`` with ``replacement``."""
+        untouched = Polynomial()
+        rewritten = Polynomial()
+        for monomial, coeff in self.terms.items():
+            if var in monomial:
+                rest = Polynomial({monomial - {var}: coeff})
+                rewritten = rewritten + rest * replacement
+            else:
+                untouched._add_term(monomial, coeff)
+        return untouched + rewritten
+
+    # -- inspection ---------------------------------------------------------
+    @property
+    def num_terms(self) -> int:
+        return len(self.terms)
+
+    def support(self) -> set[int]:
+        """All variables appearing in the polynomial."""
+        out: set[int] = set()
+        for monomial in self.terms:
+            out |= monomial
+        return out
+
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self.terms == other.terms
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return hash(frozenset(self.terms.items()))
+
+    def evaluate(self, assignment: dict[int, int]) -> int:
+        """Evaluate with 0/1 variable values (testing hook)."""
+        total = 0
+        for monomial, coeff in self.terms.items():
+            value = coeff
+            for var in monomial:
+                value *= assignment[var]
+            total += value
+        return total
+
+    def __repr__(self) -> str:
+        if not self.terms:
+            return "Polynomial(0)"
+        parts = []
+        for monomial in sorted(self.terms, key=lambda m: (len(m), sorted(m))):
+            coeff = self.terms[monomial]
+            names = "*".join(f"v{v}" for v in sorted(monomial)) or "1"
+            parts.append(f"{coeff:+d}*{names}")
+        return f"Polynomial({' '.join(parts)})"

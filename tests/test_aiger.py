@@ -1,0 +1,85 @@
+"""Round-trip and format tests for AIGER I/O."""
+
+import pytest
+
+from repro.aig import AIG, dumps_aag, loads_aag, read_aiger, simulation_equivalent, write_aag, write_aig
+
+
+def toy_aig():
+    aig = AIG(name="toy")
+    a = aig.add_input("a")
+    b = aig.add_input("b")
+    c = aig.add_input("c")
+    aig.add_output(aig.add_xor(aig.add_and(a, b), c), "y")
+    return aig
+
+
+class TestAscii:
+    def test_header(self):
+        text = dumps_aag(toy_aig())
+        header = text.splitlines()[0].split()
+        assert header[0] == "aag"
+        assert header[2] == "3"  # inputs
+        assert header[3] == "0"  # latches
+
+    def test_roundtrip_function(self):
+        original = toy_aig()
+        parsed = loads_aag(dumps_aag(original))
+        assert simulation_equivalent(original, parsed)
+
+    def test_roundtrip_symbols(self):
+        parsed = loads_aag(dumps_aag(toy_aig()))
+        assert parsed.input_names == ["a", "b", "c"]
+        assert parsed.output_names == ["y"]
+
+    def test_roundtrip_multiplier(self, csa4, tmp_path):
+        path = tmp_path / "mult.aag"
+        write_aag(csa4.aig, path)
+        parsed = read_aiger(path)
+        assert simulation_equivalent(csa4.aig, parsed)
+        assert parsed.num_ands == csa4.aig.num_ands
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            loads_aag("")
+
+    def test_latches_rejected(self):
+        with pytest.raises(ValueError):
+            loads_aag("aag 1 0 1 0 0\n2 3\n")
+
+
+class TestBinary:
+    def test_roundtrip_binary(self, csa4, tmp_path):
+        path = tmp_path / "mult.aig"
+        write_aig(csa4.aig, path)
+        parsed = read_aiger(path)
+        assert simulation_equivalent(csa4.aig, parsed)
+        assert parsed.num_ands == csa4.aig.num_ands
+        assert parsed.input_names == csa4.aig.input_names
+
+    def test_binary_roundtrip_booth(self, booth4, tmp_path):
+        path = tmp_path / "booth.aig"
+        write_aig(booth4.aig, path)
+        parsed = read_aiger(path)
+        assert simulation_equivalent(booth4.aig, parsed)
+
+    def test_binary_smaller_than_ascii(self, csa8, tmp_path):
+        ascii_path = tmp_path / "m.aag"
+        binary_path = tmp_path / "m.aig"
+        write_aag(csa8.aig, ascii_path)
+        write_aig(csa8.aig, binary_path)
+        assert binary_path.stat().st_size < ascii_path.stat().st_size
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.aig"
+        path.write_bytes(b"not an aiger file")
+        with pytest.raises(ValueError):
+            read_aiger(path)
+
+    def test_truncated_binary_rejected(self, csa4, tmp_path):
+        path = tmp_path / "trunc.aig"
+        write_aig(csa4.aig, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError):
+            read_aiger(path)

@@ -1,0 +1,108 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def mult_file(tmp_path):
+    path = tmp_path / "mult.aag"
+    assert main(["gen", str(path), "--width", "4"]) == 0
+    return path
+
+
+class TestGenStats:
+    def test_gen_writes_readable_netlist(self, tmp_path, capsys):
+        path = tmp_path / "fresh.aag"
+        assert main(["gen", str(path), "--width", "4"]) == 0
+        assert path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_gen_binary_format(self, tmp_path):
+        path = tmp_path / "m.aig"
+        assert main(["gen", str(path), "--width", "3", "--kind", "booth"]) == 0
+        assert path.read_bytes().startswith(b"aig")
+
+    def test_stats(self, mult_file, capsys):
+        assert main(["stats", str(mult_file)]) == 0
+        out = capsys.readouterr().out
+        assert "ands" in out and "depth" in out
+
+    def test_gen_with_style(self, tmp_path):
+        path = tmp_path / "w.aag"
+        assert main(["gen", str(path), "--width", "4", "--style", "wallace"]) == 0
+
+
+class TestExtract:
+    def test_extract_reports_adders(self, mult_file, capsys):
+        assert main(["extract", str(mult_file)]) == 0
+        out = capsys.readouterr().out
+        assert "FA" in out and "HA" in out
+
+
+class TestTrainReason:
+    def test_train_then_reason(self, tmp_path, capsys):
+        model = tmp_path / "model.npz"
+        assert main(["train", str(model), "--width", "6", "--epochs", "60"]) == 0
+        assert model.exists()
+        netlist = tmp_path / "target.aag"
+        assert main(["gen", str(netlist), "--width", "8"]) == 0
+        assert main(["reason", str(model), str(netlist)]) == 0
+        out = capsys.readouterr().out
+        assert "adder tree" in out
+
+
+class TestMapCec:
+    def test_map_reports_cells(self, mult_file, tmp_path, capsys):
+        out_path = tmp_path / "mapped.aag"
+        assert main(["map", str(mult_file), "--library", "asap7",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "FAx1" in out
+        assert out_path.exists()
+
+    def test_cec_equivalent(self, mult_file, tmp_path, capsys):
+        mapped = tmp_path / "mapped.aag"
+        main(["map", str(mult_file), "--out", str(mapped)])
+        capsys.readouterr()
+        assert main(["cec", str(mult_file), str(mapped)]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_cec_different_exit_code(self, mult_file, tmp_path, capsys):
+        other = tmp_path / "other.aag"
+        main(["gen", str(other), "--width", "4", "--kind", "booth"])
+        capsys.readouterr()
+        # Same interface (4-bit multipliers) but CSA vs Booth are
+        # functionally identical... so corrupt by using width 4 vs 4 booth:
+        # both compute a*b — they ARE equivalent. Use a different width
+        # reduction: build a squarer-like mismatch instead.
+        from repro.aig import AIG, write_aag
+
+        wrong = AIG(name="wrong")
+        lits = wrong.add_inputs(8)
+        for k in range(8):
+            wrong.add_output(wrong.add_and(lits[k], lits[(k + 1) % 8]))
+        path = tmp_path / "wrong.aag"
+        write_aag(wrong, path)
+        code = main(["cec", str(mult_file), str(path)])
+        assert code == 2
+
+
+class TestVerify:
+    def test_verify_ok(self, capsys):
+        assert main(["verify", "--width", "4"]) == 0
+        assert "VERIFIED" in capsys.readouterr().out
+
+    def test_verify_naive_small(self, capsys):
+        assert main(["verify", "--width", "3", "--mode", "naive"]) == 0
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["synthesize"])

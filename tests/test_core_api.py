@@ -1,0 +1,141 @@
+"""End-to-end tests of the Gamora API and prediction post-processing."""
+
+import numpy as np
+import pytest
+
+from repro.core import Gamora, correct_lsb_region, extract_from_predictions
+from repro.generators import csa_multiplier
+from repro.learn import TrainConfig
+from repro.reasoning import (
+    compare_adder_trees,
+    extract_adder_tree,
+    ground_truth_labels,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_gamora():
+    gamora = Gamora(model="shallow", train_config=TrainConfig(epochs=200))
+    gamora.fit([csa_multiplier(8)])
+    return gamora
+
+
+class TestConstruction:
+    def test_model_selection(self):
+        assert Gamora(model="shallow").model_config.num_layers == 4
+        assert Gamora(model="deep").model_config.num_layers == 8
+        with pytest.raises(ValueError):
+            Gamora(model="resnet")
+
+    def test_accepts_generated_multiplier_or_aig(self, trained_gamora, csa4):
+        by_wrapper = trained_gamora.predict(csa4)
+        by_aig = trained_gamora.predict(csa4.aig)
+        np.testing.assert_array_equal(by_wrapper["xor"], by_aig["xor"])
+
+    def test_rejects_unknown_circuit_type(self, trained_gamora):
+        with pytest.raises(TypeError):
+            trained_gamora.predict("not a circuit")
+
+
+class TestAccuracy:
+    def test_generalization_accuracy(self, trained_gamora):
+        metrics = trained_gamora.evaluate(csa_multiplier(16), labels_source="structural")
+        # Paper: near-100% on CSA multipliers when trained on mult8.
+        assert metrics["xor"] > 0.99
+        assert metrics["maj"] > 0.98
+        assert metrics["mean"] > 0.96
+
+    def test_history_recorded(self, trained_gamora):
+        assert trained_gamora.history
+        assert "loss" in trained_gamora.history[-1]
+
+
+class TestReason:
+    def test_extraction_matches_exact(self, trained_gamora):
+        target = csa_multiplier(16)
+        outcome = trained_gamora.reason(target)
+        exact = extract_adder_tree(target.aig)
+        scores = compare_adder_trees(exact, outcome.tree)
+        assert scores["recall"] > 0.95
+        assert scores["precision"] > 0.95
+
+    def test_outcome_bookkeeping(self, trained_gamora, csa4):
+        outcome = trained_gamora.reason(csa4)
+        assert outcome.inference_seconds > 0
+        assert outcome.postprocess_seconds > 0
+        assert outcome.num_mismatches >= 0
+        assert set(outcome.labels) == {"root", "xor", "maj"}
+
+    def test_lsb_correction_patches_low_cone(self, trained_gamora, csa4):
+        outcome = trained_gamora.reason(csa4, correct_lsb=True)
+        assert outcome.extraction.corrected_vars  # some low-bit nodes patched
+
+    def test_root_filter_variant_runs(self, trained_gamora, csa4):
+        outcome = trained_gamora.reason(csa4, root_filter=True)
+        assert outcome.tree.num_full_adders >= 0
+
+
+class TestPostprocess:
+    def test_exact_labels_reproduce_exact_tree(self, csa8):
+        """Feeding ground-truth labels through the prediction pipeline must
+        recover the exact adder tree (perfect-prediction invariant)."""
+        labels = ground_truth_labels(csa8.aig)
+        extraction = extract_from_predictions(csa8.aig, labels, correct_lsb=False)
+        exact = extract_adder_tree(csa8.aig)
+        scores = compare_adder_trees(exact, extraction.tree)
+        assert scores["f1"] == 1.0
+        assert extraction.num_mismatches == 0
+
+    def test_spurious_flags_are_rejected(self, csa4):
+        """Nodes falsely flagged XOR/MAJ must be caught by verification."""
+        labels = ground_truth_labels(csa4.aig)
+        corrupted = {k: v.copy() for k, v in labels.items()}
+        # Flag partial-product ANDs (never XOR) as XOR.
+        pp_vars = [
+            var for var in csa4.aig.and_vars()
+            if csa4.aig.is_input(csa4.aig.fanin0(var) >> 1)
+            and csa4.aig.is_input(csa4.aig.fanin1(var) >> 1)
+        ][:5]
+        for var in pp_vars:
+            corrupted["xor"][var] = 1
+        extraction = extract_from_predictions(csa4.aig, corrupted, correct_lsb=False)
+        assert set(pp_vars) <= set(extraction.rejected_xor)
+
+    def test_lsb_correction_restores_erased_labels(self, csa4):
+        """Erase all labels in the LSB cone; correction must restore them."""
+        labels = ground_truth_labels(csa4.aig)
+        erased = {k: v.copy() for k, v in labels.items()}
+        patched_ref, cone = correct_lsb_region(csa4.aig, labels)
+        for var in cone:
+            erased["xor"][var] = 0
+            erased["maj"][var] = 0
+            erased["root"][var] = 0
+        patched, cone2 = correct_lsb_region(csa4.aig, erased)
+        assert cone == cone2
+        for task in ("xor", "maj"):
+            np.testing.assert_array_equal(
+                patched[task][sorted(cone)], patched_ref[task][sorted(cone)]
+            )
+
+    def test_compare_adder_trees_empty(self):
+        from repro.reasoning import AdderTree
+
+        scores = compare_adder_trees(AdderTree(), AdderTree())
+        assert scores == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, trained_gamora, tmp_path, csa4):
+        path = tmp_path / "model.npz"
+        trained_gamora.save(path)
+        restored = Gamora.load(path)
+        original = trained_gamora.predict(csa4)
+        loaded = restored.predict(csa4)
+        for task in original:
+            np.testing.assert_array_equal(original[task], loaded[task])
+
+    def test_loaded_config_matches(self, trained_gamora, tmp_path):
+        path = tmp_path / "model.npz"
+        trained_gamora.save(path)
+        restored = Gamora.load(path)
+        assert restored.model_config.to_dict() == trained_gamora.model_config.to_dict()

@@ -1,0 +1,109 @@
+"""Tests for k-feasible cut enumeration and cut functions."""
+
+from repro.aig import AIG, lit_var
+from repro.aig.cuts import Cut, enumerate_cuts, node_cuts
+from repro.aig.npn import is_maj_truth, is_xor_truth
+from repro.generators.components import full_adder
+
+
+def build_xor3():
+    aig = AIG()
+    a, b, c = aig.add_inputs(3)
+    y = aig.add_xor(aig.add_xor(a, b), c)
+    aig.add_output(y)
+    return aig, (a, b, c), y
+
+
+class TestCutProperties:
+    def test_pi_has_only_trivial_cut(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        aig.add_and(a, b)
+        cuts = enumerate_cuts(aig)
+        assert cuts[lit_var(a)] == [Cut((lit_var(a),), 0b10)]
+
+    def test_and_node_cuts(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        y = aig.add_and(a, b)
+        cuts = enumerate_cuts(aig)[lit_var(y)]
+        leaves = {c.leaves for c in cuts}
+        assert (lit_var(a), lit_var(b)) in leaves  # the fan-in cut
+        assert (lit_var(y),) in leaves  # the trivial cut
+
+    def test_cut_truth_of_and(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        y = aig.add_and(a, b)
+        cuts = enumerate_cuts(aig)[lit_var(y)]
+        fanin_cut = next(c for c in cuts if c.size == 2)
+        assert fanin_cut.truth == 0b1000  # AND2
+
+    def test_cut_sizes_bounded(self, csa4):
+        for cuts in enumerate_cuts(csa4.aig, k=3):
+            for cut in cuts:
+                assert cut.size <= 3
+
+    def test_max_cuts_respected(self, csa4):
+        limit = 4
+        for cuts in enumerate_cuts(csa4.aig, k=3, max_cuts=limit):
+            assert len(cuts) <= limit + 1  # plus the trivial cut
+
+    def test_no_dominated_cuts(self, csa4):
+        for cuts in enumerate_cuts(csa4.aig, k=3):
+            nontrivial = [c for c in cuts if c.size > 1]
+            for i, ci in enumerate(nontrivial):
+                for j, cj in enumerate(nontrivial):
+                    if i != j:
+                        assert not (
+                            set(ci.leaves) < set(cj.leaves)
+                        ), f"{ci} dominates {cj} but both kept"
+
+    def test_k_must_be_at_least_two(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            enumerate_cuts(AIG(), k=1)
+
+
+class TestCutFunctions:
+    def test_xor3_detected_through_cut(self):
+        aig, (a, b, c), y = build_xor3()
+        cuts = enumerate_cuts(aig)[lit_var(y)]
+        leaf_target = tuple(sorted(lit_var(x) for x in (a, b, c)))
+        match = next(c for c in cuts if c.leaves == leaf_target)
+        assert is_xor_truth(match.truth, 3)
+
+    def test_full_adder_roots_have_xor_and_maj_cuts(self):
+        aig = AIG()
+        a, b, c = aig.add_inputs(3)
+        s, co = full_adder(aig, a, b, c)
+        aig.add_output(s)
+        aig.add_output(co)
+        cuts = enumerate_cuts(aig)
+        leaf_target = tuple(sorted(lit_var(x) for x in (a, b, c)))
+        sum_cut = next(k for k in cuts[lit_var(s)] if k.leaves == leaf_target)
+        carry_cut = next(k for k in cuts[lit_var(co)] if k.leaves == leaf_target)
+        assert is_xor_truth(sum_cut.truth, 3)
+        assert is_maj_truth(carry_cut.truth, 3)
+
+    def test_complemented_inputs_stay_in_npn_class(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        from repro.aig import lit_not
+
+        y = aig.add_xor(lit_not(a), b)  # XNOR
+        cuts = enumerate_cuts(aig)[lit_var(y)]
+        pair = next(c for c in cuts if c.size == 2)
+        assert is_xor_truth(pair.truth, 2)
+
+
+class TestNodeCuts:
+    def test_local_cuts_match_global(self, csa4):
+        global_cuts = enumerate_cuts(csa4.aig, k=3, max_cuts=8)
+        for var in list(csa4.aig.and_vars())[:20]:
+            local = node_cuts(csa4.aig, var, k=3, max_cuts=8)
+            assert {c.leaves for c in local} == {c.leaves for c in global_cuts[var]}
+            local_by_leaves = {c.leaves: c.truth for c in local}
+            for cut in global_cuts[var]:
+                assert local_by_leaves[cut.leaves] == cut.truth

@@ -1,0 +1,181 @@
+"""Tests for word-level adders and carry-save reduction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import AIG, CONST0, CONST1
+from repro.aig.simulate import evaluate_bits
+from repro.generators.adders import (
+    reduce_columns,
+    ripple_carry_adder,
+    ripple_merge_columns,
+)
+from repro.generators.components import AdderTrace, full_adder, half_adder
+
+
+class TestComponents:
+    @pytest.mark.parametrize(
+        "bits", [(x, y) for x in (0, 1) for y in (0, 1)]
+    )
+    def test_half_adder_function(self, bits):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        s, c = half_adder(aig, a, b)
+        aig.add_output(s)
+        aig.add_output(c)
+        x, y = bits
+        assert evaluate_bits(aig, [x, y]) == [(x + y) & 1, (x + y) >> 1]
+
+    @pytest.mark.parametrize(
+        "bits", [(x, y, z) for x in (0, 1) for y in (0, 1) for z in (0, 1)]
+    )
+    def test_full_adder_function(self, bits):
+        aig = AIG()
+        a, b, c = aig.add_inputs(3)
+        s, co = full_adder(aig, a, b, c)
+        aig.add_output(s)
+        aig.add_output(co)
+        x, y, z = bits
+        total = x + y + z
+        assert evaluate_bits(aig, [x, y, z]) == [total & 1, total >> 1]
+
+    def test_full_adder_with_const0_degrades_to_half_adder(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        trace = AdderTrace()
+        s, co = full_adder(aig, a, b, CONST0, trace)
+        assert trace.num_half_adders == 1
+        assert trace.num_full_adders == 0
+        aig.add_output(s)
+        aig.add_output(co)
+        assert evaluate_bits(aig, [1, 1]) == [0, 1]
+
+    def test_full_adder_with_const1(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        s, co = full_adder(aig, a, b, CONST1)
+        aig.add_output(s)
+        aig.add_output(co)
+        for x in (0, 1):
+            for y in (0, 1):
+                total = x + y + 1
+                assert evaluate_bits(aig, [x, y]) == [total & 1, total >> 1]
+
+    def test_trace_skips_folded_adders(self):
+        aig = AIG()
+        a = aig.add_input()
+        trace = AdderTrace()
+        # a + a = 2a: sum folds to 0, carry to a — nothing to record.
+        full_adder(aig, a, a, CONST0, trace)
+        assert not trace.adders
+
+
+class TestRippleCarry:
+    @settings(max_examples=30)
+    @given(
+        a=st.integers(0, 255),
+        b=st.integers(0, 255),
+        cin=st.integers(0, 1),
+    )
+    def test_addition(self, a, b, cin):
+        width = 8
+        aig = AIG()
+        a_bits = aig.add_inputs(width, "a")
+        b_bits = aig.add_inputs(width, "b")
+        sums, cout = ripple_carry_adder(
+            aig, a_bits, b_bits, CONST1 if cin else CONST0
+        )
+        for s in sums:
+            aig.add_output(s)
+        aig.add_output(cout)
+        bits = [(a >> i) & 1 for i in range(width)] + [
+            (b >> i) & 1 for i in range(width)
+        ]
+        out = evaluate_bits(aig, bits)
+        total = a + b + cin
+        expected = [(total >> i) & 1 for i in range(width + 1)]
+        assert out == expected
+
+    def test_width_mismatch_rejected(self):
+        aig = AIG()
+        a_bits = aig.add_inputs(4, "a")
+        b_bits = aig.add_inputs(3, "b")
+        with pytest.raises(ValueError):
+            ripple_carry_adder(aig, a_bits, b_bits[:3])
+
+    def test_trace_counts_full_adders(self):
+        aig = AIG()
+        a_bits = aig.add_inputs(6, "a")
+        b_bits = aig.add_inputs(6, "b")
+        trace = AdderTrace()
+        ripple_carry_adder(aig, a_bits, b_bits, trace=trace)
+        # LSB slice has constant carry-in and folds to an HA.
+        assert trace.num_half_adders == 1
+        assert trace.num_full_adders == 5
+
+
+def _sum_of_columns(aig: AIG, columns, input_bits):
+    """Evaluate the integer value represented by reduced columns."""
+    lits = []
+    weights = []
+    for position, bits in columns.items():
+        for lit in bits:
+            lits.append(lit)
+            weights.append(position)
+    for lit in lits:
+        aig.add_output(lit)
+    out = evaluate_bits(aig, input_bits)
+    return sum(bit << w for bit, w in zip(out, weights))
+
+
+@pytest.mark.parametrize("style", ["wallace", "dadda", "array"])
+class TestReduction:
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_reduction_preserves_sum(self, style, data):
+        """Any reduction style must preserve the weighted sum of bits."""
+        num_inputs = data.draw(st.integers(3, 8))
+        positions = data.draw(
+            st.lists(st.integers(0, 3), min_size=num_inputs, max_size=num_inputs)
+        )
+        values = data.draw(
+            st.lists(st.integers(0, 1), min_size=num_inputs, max_size=num_inputs)
+        )
+        aig = AIG()
+        lits = aig.add_inputs(num_inputs)
+        if style == "array":
+            payload = [{p: [lit]} for p, lit in zip(positions, lits)]
+        else:
+            payload = {}
+            for p, lit in zip(positions, lits):
+                payload.setdefault(p, []).append(lit)
+        reduced = reduce_columns(aig, payload, style=style)
+        assert all(len(bits) <= 2 for bits in reduced.values())
+        got = _sum_of_columns(aig, reduced, values)
+        expected = sum(v << p for v, p in zip(values, positions))
+        assert got == expected
+
+    def test_merge_produces_single_word(self, style):
+        aig = AIG()
+        lits = aig.add_inputs(6)
+        payload = {0: lits[:3], 1: lits[3:5], 2: lits[5:]}
+        if style == "array":
+            payload = [{p: list(bits)} for p, bits in payload.items()]
+        reduced = reduce_columns(aig, payload, style=style)
+        word = ripple_merge_columns(aig, reduced)
+        for lit in word:
+            aig.add_output(lit)
+        out = evaluate_bits(aig, [1] * 6)
+        got = sum(bit << i for i, bit in enumerate(out))
+        assert got == 3 * 1 + 2 * 2 + 1 * 4
+
+
+class TestReductionErrors:
+    def test_unknown_style(self):
+        with pytest.raises(ValueError):
+            reduce_columns(AIG(), {}, style="magic")
+
+    def test_array_requires_rows(self):
+        with pytest.raises(TypeError):
+            reduce_columns(AIG(), {}, style="array")

@@ -1,0 +1,79 @@
+"""Bit-exactness and structure tests for the multiplier generators."""
+
+import pytest
+
+from tests.conftest import assert_multiplier_correct
+from repro.generators import booth_multiplier, csa_multiplier, make_multiplier
+
+
+class TestCsaCorrectness:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 5, 7, 8, 12, 16])
+    def test_products_match_python(self, width):
+        assert_multiplier_correct(csa_multiplier(width))
+
+    @pytest.mark.parametrize("style", ["array", "wallace", "dadda"])
+    def test_reduction_styles(self, style):
+        assert_multiplier_correct(csa_multiplier(6, style=style))
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            csa_multiplier(0)
+
+
+class TestBoothCorrectness:
+    @pytest.mark.parametrize("width", [2, 3, 4, 5, 7, 8, 12, 16])
+    def test_products_match_python(self, width):
+        assert_multiplier_correct(booth_multiplier(width))
+
+    def test_width_one_rejected(self):
+        with pytest.raises(ValueError):
+            booth_multiplier(1)
+
+    @pytest.mark.parametrize("style", ["wallace", "dadda"])
+    def test_reduction_styles(self, style):
+        assert_multiplier_correct(booth_multiplier(6, style=style))
+
+
+class TestStructure:
+    @pytest.mark.parametrize("width", [3, 4, 8, 16])
+    def test_csa_array_adder_counts(self, width):
+        """The textbook carry-save array uses n(n-2) FAs and n HAs."""
+        gen = csa_multiplier(width)
+        assert gen.trace.num_full_adders == width * (width - 2)
+        assert gen.trace.num_half_adders == width
+
+    def test_interface(self):
+        gen = csa_multiplier(5)
+        assert gen.aig.num_inputs == 10
+        assert gen.aig.num_outputs == 10
+        assert len(gen.a_literals) == 5
+        assert len(gen.b_literals) == 5
+        assert gen.kind == "csa"
+        assert gen.width == 5
+
+    def test_booth_smaller_pp_rows_than_csa_for_large_width(self):
+        """Radix-4 halves the number of partial-product rows; for wide
+        operands the Booth netlist should not be dramatically larger."""
+        csa = csa_multiplier(16, style="wallace")
+        booth = booth_multiplier(16, style="wallace")
+        assert booth.trace.num_full_adders < csa.trace.num_full_adders
+
+    def test_names_are_stable(self):
+        assert csa_multiplier(4).name == "mult4_csa_array"
+        assert booth_multiplier(4).name == "mult4_booth_wallace"
+        assert csa_multiplier(4, name="custom").name == "custom"
+
+    def test_growth_is_quadratic(self):
+        small = csa_multiplier(8).aig.num_ands
+        large = csa_multiplier(16).aig.num_ands
+        assert 3.0 < large / small < 5.0  # ~4x for doubled width
+
+
+class TestFactory:
+    def test_factory_dispatch(self):
+        assert make_multiplier(4, "csa").kind == "csa"
+        assert make_multiplier(4, "booth").kind == "booth"
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_multiplier(4, "karatsuba")

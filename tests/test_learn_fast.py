@@ -1,0 +1,97 @@
+"""The compiled float32 inference kernel must agree with the reference."""
+
+import numpy as np
+import pytest
+
+from repro.generators import csa_multiplier
+from repro.learn import (
+    FastInference,
+    GamoraNet,
+    ModelConfig,
+    TrainConfig,
+    build_graph_data,
+    compile_inference,
+    shallow_config,
+    train_model,
+)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    data = build_graph_data(csa_multiplier(6).aig)
+    model, _history = train_model(data, shallow_config(), TrainConfig(epochs=150))
+    return model, data
+
+
+class TestAgreement:
+    def test_labels_match_reference(self, trained):
+        model, data = trained
+        kernel = compile_inference(model)
+        reference = model.predict(data.features, data.adjacency)
+        fast = kernel.predict(data.features, data.adjacency)
+        for task in reference:
+            agreement = float(np.mean(reference[task] == fast[task]))
+            assert agreement > 0.999, f"{task}: fast kernel diverged"
+
+    def test_agreement_on_unseen_graph(self, trained):
+        model, _data = trained
+        kernel = compile_inference(model)
+        other = build_graph_data(csa_multiplier(10).aig, with_labels=False)
+        reference = model.predict(other.features, other.adjacency)
+        fast = kernel.predict(other.features, other.adjacency)
+        for task in reference:
+            assert float(np.mean(reference[task] == fast[task])) > 0.999
+
+    def test_logits_close_to_float64_head_inputs(self, trained):
+        model, data = trained
+        kernel = compile_inference(model)
+        logits = kernel.logits(data.features, data.adjacency)
+        assert set(logits) == {"root", "xor", "maj"}
+        for out in logits.values():
+            assert out.dtype == np.float32
+            assert np.isfinite(out).all()
+
+
+class TestSingleTask:
+    def test_single_task_decoding(self):
+        config = ModelConfig(num_layers=2, hidden=8, single_task=True)
+        model = GamoraNet(config)
+        data = build_graph_data(csa_multiplier(4).aig, with_labels=False)
+        kernel = compile_inference(model)
+        fast = kernel.predict(data.features, data.adjacency)
+        reference = model.predict(data.features, data.adjacency)
+        for task in ("root", "xor", "maj"):
+            assert float(np.mean(reference[task] == fast[task])) > 0.999
+
+
+class TestKernelProperties:
+    def test_compile_is_a_snapshot(self, trained):
+        """Mutating the source model after compilation must not change the
+        kernel (deployment artifacts are frozen)."""
+        model, data = trained
+        kernel = compile_inference(model)
+        before = kernel.predict(data.features, data.adjacency)
+        for param in model.parameters():
+            param.data = param.data * 0.0
+        after = kernel.predict(data.features, data.adjacency)
+        for task in before:
+            np.testing.assert_array_equal(before[task], after[task])
+
+    def test_fast_is_faster(self, trained):
+        import time
+
+        model, _data = trained
+        data = build_graph_data(csa_multiplier(16).aig, with_labels=False)
+        kernel = compile_inference(model)
+        kernel.predict(data.features, data.adjacency)  # warm up
+        start = time.perf_counter()
+        kernel.predict(data.features, data.adjacency)
+        fast_time = time.perf_counter() - start
+        start = time.perf_counter()
+        model.predict(data.features, data.adjacency)
+        slow_time = time.perf_counter() - start
+        assert fast_time < slow_time * 1.5  # generous: noise-proof bound
+
+    def test_isinstance_contract(self, trained):
+        model, _data = trained
+        assert isinstance(compile_inference(model), FastInference)

@@ -1,0 +1,141 @@
+"""Tests for feature encoding and graph dataset construction."""
+
+import numpy as np
+import pytest
+
+from repro.aig import AIG, lit_not, lit_var
+from repro.learn.data import adjacency_operator, batch_graphs, build_graph_data
+from repro.learn.features import encode_features, num_features
+
+
+class TestFeatures:
+    def test_paper_examples(self):
+        """Fig. 3(b): PI -> [0,0,0]; plain AND -> [1,0,0]; double-negated
+        AND -> [1,1,1]."""
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        plain = aig.add_and(a, b)
+        negated = aig.add_and(lit_not(a), lit_not(b))
+        feats = encode_features(aig)
+        np.testing.assert_array_equal(feats[lit_var(a)], [0, 0, 0])
+        np.testing.assert_array_equal(feats[lit_var(plain)], [1, 0, 0])
+        np.testing.assert_array_equal(feats[lit_var(negated)], [1, 1, 1])
+
+    def test_structural_mode_single_column(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        aig.add_and(a, lit_not(b))
+        feats = encode_features(aig, mode="structural")
+        assert feats.shape[1] == 1
+        assert num_features("structural") == 1
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            num_features("spectral")
+
+    def test_mixed_polarity(self, csa4):
+        feats = encode_features(csa4.aig)
+        fanin0, fanin1 = csa4.aig.fanin_arrays()
+        for var in list(csa4.aig.and_vars())[:30]:
+            assert feats[var, 0] == 1
+            assert feats[var, 1] == (fanin0[var] & 1)
+            assert feats[var, 2] == (fanin1[var] & 1)
+
+
+class TestAdjacency:
+    def build_chain(self):
+        aig = AIG()
+        a, b, c = aig.add_inputs(3)
+        x = aig.add_and(a, b)
+        y = aig.add_and(x, c)
+        aig.add_output(y)
+        return aig, (a, b, c, x, y)
+
+    def test_in_direction_rows(self):
+        aig, (a, b, c, x, y) = self.build_chain()
+        adj = adjacency_operator(aig, "in").toarray()
+        xv, yv = lit_var(x), lit_var(y)
+        # Row of x averages its two fan-ins.
+        assert adj[xv, lit_var(a)] == 0.5
+        assert adj[xv, lit_var(b)] == 0.5
+        # PIs aggregate nothing.
+        assert adj[lit_var(a)].sum() == 0
+        # Row sums are 1 for AND nodes.
+        np.testing.assert_allclose(adj[yv].sum(), 1.0)
+
+    def test_out_direction(self):
+        aig, (a, b, c, x, y) = self.build_chain()
+        adj = adjacency_operator(aig, "out").toarray()
+        # a's only fan-out is x.
+        assert adj[lit_var(a), lit_var(x)] == 1.0
+        # y has no fan-outs.
+        assert adj[lit_var(y)].sum() == 0
+
+    def test_both_direction_symmetric_support(self):
+        aig, _nodes = self.build_chain()
+        adj = adjacency_operator(aig, "both").toarray()
+        assert ((adj > 0) == (adj > 0).T).all()
+
+    def test_unknown_direction(self):
+        with pytest.raises(ValueError):
+            adjacency_operator(AIG(), "sideways")
+
+
+class TestGraphData:
+    def test_shapes_and_mask(self, csa4):
+        data = build_graph_data(csa4.aig)
+        assert data.features.shape == (csa4.aig.num_vars, 3)
+        assert data.adjacency.shape == (csa4.aig.num_vars,) * 2
+        assert not data.mask[0]  # constant excluded
+        assert data.mask[1:].all()
+        assert set(data.labels) == {"root", "xor", "maj"}
+
+    def test_structural_labels_match_functional(self, csa4):
+        functional = build_graph_data(csa4.aig, labels_source="functional")
+        structural = build_graph_data(csa4.aig, labels_source="structural")
+        for task in ("root", "xor", "maj"):
+            np.testing.assert_array_equal(
+                functional.labels[task], structural.labels[task]
+            )
+
+    def test_without_labels(self, csa4):
+        data = build_graph_data(csa4.aig, with_labels=False)
+        assert data.labels is None
+
+    def test_bad_labels_source(self, csa4):
+        with pytest.raises(ValueError):
+            build_graph_data(csa4.aig, labels_source="oracle")
+
+
+class TestBatching:
+    def test_block_diagonal(self, csa4, booth4):
+        first = build_graph_data(csa4.aig)
+        second = build_graph_data(booth4.aig)
+        merged = batch_graphs([first, second])
+        assert merged.num_nodes == first.num_nodes + second.num_nodes
+        assert merged.num_edges == first.num_edges + second.num_edges
+        assert merged.sizes == [first.num_nodes, second.num_nodes]
+        # No cross-graph edges.
+        block = merged.adjacency[: first.num_nodes, first.num_nodes:]
+        assert block.nnz == 0
+
+    def test_labels_concatenated(self, csa4, booth4):
+        first = build_graph_data(csa4.aig)
+        second = build_graph_data(booth4.aig)
+        merged = batch_graphs([first, second])
+        np.testing.assert_array_equal(
+            merged.labels["xor"][: first.num_nodes], first.labels["xor"]
+        )
+        np.testing.assert_array_equal(
+            merged.labels["xor"][first.num_nodes:], second.labels["xor"]
+        )
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            batch_graphs([])
+
+    def test_feature_width_mismatch_rejected(self, csa4):
+        full = build_graph_data(csa4.aig, feature_mode="full")
+        slim = build_graph_data(csa4.aig, feature_mode="structural")
+        with pytest.raises(ValueError):
+            batch_graphs([full, slim])

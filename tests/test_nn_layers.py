@@ -1,0 +1,145 @@
+"""Tests for Module/Linear/SAGEConv and optimizers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.nn.layers import Linear, Module, SAGEConv
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor
+from repro.utils.rng import seeded_rng
+
+
+class TestModule:
+    def test_parameter_collection(self):
+        rng = seeded_rng(0)
+        outer = Module()
+        outer.register_module("a", Linear(3, 4, rng))
+        outer.register_module("b", Linear(4, 2, rng, bias=False))
+        assert len(outer.parameters()) == 3  # W+b, W
+        names = [name for name, _ in outer.named_parameters()]
+        assert "a.weight" in names and "a.bias" in names and "b.weight" in names
+
+    def test_state_dict_roundtrip(self):
+        rng = seeded_rng(1)
+        first = Linear(3, 4, rng)
+        second = Linear(3, 4, seeded_rng(2))
+        assert not np.allclose(first.weight.data, second.weight.data)
+        second.load_state_dict(first.state_dict())
+        np.testing.assert_array_equal(first.weight.data, second.weight.data)
+
+    def test_state_dict_mismatch_rejected(self):
+        rng = seeded_rng(1)
+        layer = Linear(3, 4, rng)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": layer.weight.data})
+        bad = layer.state_dict()
+        bad["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(bad)
+
+    def test_train_eval_propagates(self):
+        rng = seeded_rng(0)
+        outer = Module()
+        inner = outer.register_module("inner", Linear(2, 2, rng))
+        outer.eval()
+        assert not inner.training
+        outer.train()
+        assert inner.training
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self):
+        rng = seeded_rng(0)
+        layer = Linear(3, 2, rng)
+        x = np.ones((4, 3))
+        out = layer(Tensor(x))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, seeded_rng(0), bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+
+class TestSAGEConv:
+    def test_mean_aggregation(self):
+        """Node 2 aggregates nodes 0 and 1; its update must use their mean."""
+        rng = seeded_rng(0)
+        conv = SAGEConv(2, 3, rng)
+        adj = sp.csr_matrix(
+            np.array([[0, 0, 0], [0, 0, 0], [0.5, 0.5, 0]])
+        )
+        x = np.array([[1.0, 0.0], [0.0, 1.0], [2.0, 2.0]])
+        out = conv(Tensor(x), adj)
+        neighborhood = adj @ x
+        expected = np.concatenate([x, neighborhood], axis=1) @ conv.weight.data
+        expected += conv.bias.data
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_isolated_node_aggregates_zero(self):
+        rng = seeded_rng(0)
+        conv = SAGEConv(2, 2, rng)
+        adj = sp.csr_matrix((2, 2))
+        x = np.ones((2, 2))
+        out = conv(Tensor(x), adj)
+        expected = np.concatenate([x, np.zeros((2, 2))], axis=1) @ conv.weight.data
+        expected += conv.bias.data
+        np.testing.assert_allclose(out.data, expected)
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        target = np.array([3.0, -2.0])
+        param = Tensor(np.zeros(2), requires_grad=True)
+        return param, target
+
+    def test_sgd_converges(self):
+        param, target = self._quadratic_problem()
+        opt = SGD([param], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            diff = param - Tensor(target)
+            (diff * diff).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        param, target = self._quadratic_problem()
+        opt = SGD([param], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            opt.zero_grad()
+            diff = param - Tensor(target)
+            (diff * diff).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_adam_converges(self):
+        param, target = self._quadratic_problem()
+        opt = Adam([param], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            diff = param - Tensor(target)
+            (diff * diff).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_weight_decay_shrinks(self):
+        param = Tensor(np.array([10.0]), requires_grad=True)
+        opt = SGD([param], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            opt.zero_grad()
+            (param * 0.0).sum().backward()  # zero task gradient
+            opt.step()
+        assert abs(float(param.data[0])) < 1.0
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.0)
+
+    def test_step_skips_gradless_params(self):
+        param = Tensor(np.ones(2), requires_grad=True)
+        opt = Adam([param], lr=0.1)
+        opt.step()  # no backward happened; must not crash
+        np.testing.assert_array_equal(param.data, np.ones(2))

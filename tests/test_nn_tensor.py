@@ -1,0 +1,195 @@
+"""Autodiff engine tests: every op gradient is finite-difference checked."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor, concat, is_grad_enabled, no_grad, spmm
+
+RNG = np.random.default_rng(3)
+EPS = 1e-6
+TOL = 1e-5
+
+
+def numeric_grad(func, value: np.ndarray) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued ``func``."""
+    grad = np.zeros_like(value)
+    flat = value.ravel()
+    grad_flat = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + EPS
+        upper = func(value)
+        flat[index] = original - EPS
+        lower = func(value)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * EPS)
+    return grad
+
+
+def check_gradient(build_loss, shape) -> None:
+    """Compare autodiff and numeric gradients on a random input."""
+    value = RNG.standard_normal(shape)
+    tensor = Tensor(value.copy(), requires_grad=True)
+    loss = build_loss(tensor)
+    loss.backward()
+    numeric = numeric_grad(lambda v: float(build_loss(Tensor(v)).data), value)
+    np.testing.assert_allclose(tensor.grad, numeric, atol=TOL, rtol=TOL)
+
+
+class TestElementwise:
+    def test_add_gradient(self):
+        check_gradient(lambda t: (t + 2.0).sum(), (3, 4))
+
+    def test_mul_gradient(self):
+        other = Tensor(RNG.standard_normal((3, 4)))
+        check_gradient(lambda t: (t * other).sum(), (3, 4))
+
+    def test_sub_neg_gradient(self):
+        check_gradient(lambda t: (-t - 1.5).sum(), (2, 5))
+
+    def test_relu_gradient(self):
+        check_gradient(lambda t: t.relu().sum(), (4, 4))
+
+    def test_mean_gradient(self):
+        check_gradient(lambda t: t.mean(), (6, 2))
+
+    def test_broadcast_bias_gradient(self):
+        bias = Tensor(RNG.standard_normal(4), requires_grad=True)
+        x = Tensor(RNG.standard_normal((3, 4)))
+        (x + bias).sum().backward()
+        np.testing.assert_allclose(bias.grad, np.full(4, 3.0))
+
+
+class TestMatmul:
+    def test_left_gradient(self):
+        right = Tensor(RNG.standard_normal((4, 2)))
+        check_gradient(lambda t: (t @ right).sum(), (3, 4))
+
+    def test_right_gradient(self):
+        left_value = RNG.standard_normal((3, 4))
+        value = RNG.standard_normal((4, 2))
+        weight = Tensor(value.copy(), requires_grad=True)
+        (Tensor(left_value) @ weight).sum().backward()
+        numeric = numeric_grad(
+            lambda v: float((Tensor(left_value) @ Tensor(v)).sum().data), value
+        )
+        np.testing.assert_allclose(weight.grad, numeric, atol=TOL)
+
+
+class TestSoftmaxLoss:
+    def test_log_softmax_rows_normalize(self):
+        t = Tensor(RNG.standard_normal((5, 3)))
+        out = t.log_softmax()
+        np.testing.assert_allclose(np.exp(out.data).sum(axis=1), np.ones(5))
+
+    def test_log_softmax_gradient(self):
+        weights = RNG.random((4, 3))
+        check_gradient(
+            lambda t: (t.log_softmax() * Tensor(weights)).sum(), (4, 3)
+        )
+
+    def test_nll_gradient(self):
+        targets = np.array([0, 2, 1, 2])
+        check_gradient(
+            lambda t: t.log_softmax().nll_loss(targets), (4, 3)
+        )
+
+    def test_nll_with_weights_gradient(self):
+        targets = np.array([0, 2, 1, 2])
+        sample_weight = np.array([1.0, 0.0, 2.0, 0.5])
+        check_gradient(
+            lambda t: t.log_softmax().nll_loss(targets, sample_weight), (4, 3)
+        )
+
+    def test_nll_rejects_zero_weight_total(self):
+        t = Tensor(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            t.nll_loss(np.array([0, 1]), np.zeros(2))
+
+    def test_nll_masked_rows_get_no_gradient(self):
+        value = RNG.standard_normal((3, 2))
+        t = Tensor(value, requires_grad=True)
+        weights = np.array([1.0, 0.0, 1.0])
+        t.log_softmax().nll_loss(np.array([0, 1, 1]), weights).backward()
+        np.testing.assert_allclose(t.grad[1], np.zeros(2), atol=1e-12)
+
+
+class TestConcatSparse:
+    def test_concat_gradient_routes_to_both(self):
+        a_val = RNG.standard_normal((3, 2))
+        b_val = RNG.standard_normal((3, 4))
+        a = Tensor(a_val.copy(), requires_grad=True)
+        b = Tensor(b_val.copy(), requires_grad=True)
+        (concat([a, b], axis=1) * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((3, 2), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((3, 4), 2.0))
+
+    def test_spmm_gradient(self):
+        matrix = sp.random(5, 5, density=0.4, random_state=1, format="csr")
+        check_gradient(lambda t: spmm(matrix, t).sum(), (5, 3))
+
+    def test_spmm_matches_dense(self):
+        matrix = sp.random(6, 6, density=0.5, random_state=2, format="csr")
+        x = Tensor(RNG.standard_normal((6, 2)))
+        np.testing.assert_allclose(
+            spmm(matrix, x).data, matrix.toarray() @ x.data
+        )
+
+
+class TestEngine:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            t.backward()
+
+    def test_grad_accumulates_over_reuse(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        ((t * 2.0).sum() + (t * 3.0).sum()).backward()
+        np.testing.assert_allclose(t.grad, np.full(3, 5.0))
+
+    def test_no_grad_blocks_tape(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = (t * 2.0).sum()
+        assert not out.requires_grad
+
+    def test_detach(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        assert not t.detach().requires_grad
+
+    def test_dropout_identity_in_eval(self):
+        t = Tensor(RNG.standard_normal((4, 4)), requires_grad=True)
+        out = t.dropout(0.5, np.random.default_rng(0), training=False)
+        np.testing.assert_array_equal(out.data, t.data)
+
+    def test_dropout_scales_kept_values(self):
+        rng = np.random.default_rng(0)
+        t = Tensor(np.ones((100, 100)))
+        out = t.dropout(0.5, rng, training=True)
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, 2.0)
+
+    def test_dropout_invalid_probability(self):
+        t = Tensor(np.ones(3))
+        with pytest.raises(ValueError):
+            t.dropout(1.0, np.random.default_rng(0), training=True)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=st.integers(2, 6),
+        cols=st.integers(2, 5),
+        hidden=st.integers(1, 4),
+    )
+    def test_mlp_gradcheck_random_shapes(self, rows, cols, hidden):
+        """A small MLP end-to-end gradient check over random shapes."""
+        weight1 = Tensor(RNG.standard_normal((cols, hidden)))
+        targets = RNG.integers(0, hidden, size=rows)
+
+        def loss_fn(t):
+            return (t @ weight1).relu().log_softmax().nll_loss(targets)
+
+        check_gradient(loss_fn, (rows, cols))

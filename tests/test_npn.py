@@ -1,0 +1,90 @@
+"""Unit and property tests for NPN canonicalization and class predicates."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aig.npn import (
+    AND2,
+    MAJ3,
+    MAJ3_TRUTHS,
+    XOR2,
+    XOR2_TRUTHS,
+    XOR3,
+    XOR3_TRUTHS,
+    all_npn_transforms,
+    apply_transform,
+    is_maj_truth,
+    is_xor_truth,
+    npn_canon,
+    npn_class,
+)
+
+
+class TestApplyTransform:
+    def test_identity_transform(self):
+        assert apply_transform(0x96, 3, (0, 1, 2), (0, 0, 0), 0) == 0x96
+
+    def test_output_negation(self):
+        assert apply_transform(0x96, 3, (0, 1, 2), (0, 0, 0), 1) == 0x69
+
+    def test_input_negation_on_xor_flips_output(self):
+        # XOR with one complemented input is XNOR.
+        assert apply_transform(0x96, 3, (0, 1, 2), (1, 0, 0), 0) == 0x69
+
+    def test_maj_self_dual(self):
+        # Complementing all inputs and the output leaves MAJ unchanged.
+        assert apply_transform(0xE8, 3, (0, 1, 2), (1, 1, 1), 1) == 0xE8
+
+
+class TestCanon:
+    @given(
+        table=st.sampled_from([XOR3, MAJ3, 0x80, 0xCA, 0x1B]),
+        perm=st.permutations([0, 1, 2]),
+        flips=st.tuples(*[st.integers(0, 1)] * 3),
+        out=st.integers(0, 1),
+    )
+    def test_canon_invariant_under_transform(self, table, perm, flips, out):
+        transformed = apply_transform(table, 3, tuple(perm), flips, out)
+        assert npn_canon(transformed, 3) == npn_canon(table, 3)
+
+    def test_distinct_classes_have_distinct_canons(self):
+        assert npn_canon(XOR3, 3) != npn_canon(MAJ3, 3)
+        assert npn_canon(AND2, 2) != npn_canon(XOR2, 2)
+
+    def test_class_contains_table(self):
+        assert XOR3 in npn_class(XOR3, 3)
+        assert 0x69 in npn_class(XOR3, 3)
+
+
+class TestClassSets:
+    def test_xor2_class(self):
+        assert XOR2_TRUTHS == frozenset({0b0110, 0b1001})
+
+    def test_xor3_class(self):
+        assert XOR3_TRUTHS == frozenset({0x96, 0x69})
+
+    def test_maj3_class_size(self):
+        # MAJ has 8 input-negation variants; output negation pairs them up
+        # (self-duality), and permutations add nothing (symmetric function).
+        assert len(MAJ3_TRUTHS) == 8
+        assert 0xE8 in MAJ3_TRUTHS
+
+    def test_and_is_not_xor_or_maj(self):
+        assert not is_xor_truth(AND2, 2)
+        assert not is_maj_truth(0x80, 3)  # AND3
+
+    def test_predicates(self):
+        assert is_xor_truth(0b1001, 2)  # XNOR2
+        assert is_xor_truth(0x69, 3)  # XNOR3
+        assert is_maj_truth(0x17, 3)  # minority = ¬MAJ
+        assert not is_xor_truth(0x96, 4)  # wrong arity never matches
+
+
+class TestTransformIndex:
+    def test_all_transforms_reconstruct(self):
+        orbit = all_npn_transforms(MAJ3, 3)
+        for truth, (perm, flips, out) in orbit.items():
+            assert apply_transform(MAJ3, 3, perm, flips, out) == truth
+
+    def test_orbit_matches_class(self):
+        assert set(all_npn_transforms(XOR3, 3)) == set(npn_class(XOR3, 3))

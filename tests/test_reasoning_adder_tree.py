@@ -1,0 +1,156 @@
+"""Tests for adder-tree extraction and ground-truth labeling."""
+
+import numpy as np
+import pytest
+
+from repro.aig import AIG, lit_var
+from repro.generators import csa_multiplier
+from repro.generators.adders import ripple_carry_adder
+from repro.generators.components import full_adder, half_adder
+from repro.reasoning import (
+    TASK1_LEAF,
+    TASK1_OTHER,
+    TASK1_ROOT,
+    TASK1_ROOT_LEAF,
+    extract_adder_tree,
+    ground_truth_labels,
+)
+
+
+class TestSingleSlices:
+    def test_lone_full_adder_extracted(self):
+        aig = AIG()
+        a, b, c = aig.add_inputs(3)
+        s, co = full_adder(aig, a, b, c)
+        aig.add_output(s)
+        aig.add_output(co)
+        tree = extract_adder_tree(aig)
+        assert tree.num_full_adders == 1
+        adder = tree.adders[0]
+        assert adder.sum_var == lit_var(s)
+        assert adder.carry_var == lit_var(co)
+        assert adder.leaves == tuple(sorted(lit_var(x) for x in (a, b, c)))
+
+    def test_fa_interior_not_reextracted_as_ha(self):
+        """The shared propagate XOR and generate AND inside a matched FA
+        must not surface as a spurious half adder."""
+        aig = AIG()
+        a, b, c = aig.add_inputs(3)
+        full_adder(aig, a, b, c)
+        tree = extract_adder_tree(aig)
+        assert tree.num_full_adders == 1
+        assert tree.num_half_adders == 0
+
+    def test_lone_half_adder_extracted(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        s, c = half_adder(aig, a, b)
+        tree = extract_adder_tree(aig)
+        assert tree.num_half_adders == 1
+        assert tree.adders[0].kind == "HA"
+        assert tree.adders[0].carry_var == lit_var(c)
+
+    def test_xor_without_carry_not_an_adder(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        aig.add_xor(a, b)
+        tree = extract_adder_tree(aig)
+        assert not tree.adders
+
+
+class TestRippleAdder:
+    def test_all_slices_recovered(self):
+        width = 8
+        aig = AIG()
+        a_bits = aig.add_inputs(width, "a")
+        b_bits = aig.add_inputs(width, "b")
+        sums, cout = ripple_carry_adder(aig, a_bits, b_bits)
+        for s in sums:
+            aig.add_output(s)
+        aig.add_output(cout)
+        tree = extract_adder_tree(aig)
+        assert tree.num_full_adders == width - 1
+        assert tree.num_half_adders == 1  # LSB slice
+
+    def test_chained_adders_linked(self):
+        aig = AIG()
+        a_bits = aig.add_inputs(4, "a")
+        b_bits = aig.add_inputs(4, "b")
+        sums, cout = ripple_carry_adder(aig, a_bits, b_bits)
+        for s in sums:
+            aig.add_output(s)
+        tree = extract_adder_tree(aig)
+        # Carry chain: each adder's carry feeds the next slice.
+        assert len(tree.links()) == len(tree.adders) - 1
+
+
+class TestMultiplierExtraction:
+    @pytest.mark.parametrize("width", [3, 4, 8])
+    def test_csa_extraction_matches_trace(self, width):
+        gen = csa_multiplier(width)
+        tree = extract_adder_tree(gen.aig)
+        traced = {(a.sum_var, a.carry_var) for a in gen.trace.adders}
+        extracted = {(a.sum_var, a.carry_var) for a in tree.adders}
+        assert traced <= extracted
+        assert tree.num_full_adders == gen.trace.num_full_adders
+        assert tree.num_half_adders == gen.trace.num_half_adders
+
+    def test_booth_extraction_covers_trace(self, booth8):
+        """Every traced slice is either extracted as-is or subsumed.
+
+        On Booth netlists the functional reasoner may legitimately pair a
+        chained-XOR sum with a coincidental NPN-MAJ node, forming a wider
+        full adder that swallows two traced half adders; the traced roots
+        then land in the consumed interior of that FA.  Both outcomes keep
+        the algebraic adder-tree cover exact.
+        """
+        tree = extract_adder_tree(booth8.aig)
+        extracted = {(a.sum_var, a.carry_var) for a in tree.adders}
+        covered = tree.root_vars() | tree.consumed
+        for adder in booth8.trace.adders:
+            pair = (adder.sum_var, adder.carry_var)
+            assert pair in extracted or (
+                adder.sum_var in covered and adder.carry_var in covered
+            ), f"traced {adder} neither extracted nor subsumed"
+
+
+class TestLabels:
+    def test_label_shapes(self, csa4):
+        labels = ground_truth_labels(csa4.aig)
+        for key in ("root", "xor", "maj"):
+            assert labels[key].shape == (csa4.aig.num_vars,)
+
+    def test_xor_labels_cover_sums(self, csa4):
+        labels = ground_truth_labels(csa4.aig)
+        for adder in csa4.trace.adders:
+            assert labels["xor"][adder.sum_var] == 1
+
+    def test_maj_labels_cover_carries(self, csa4):
+        labels = ground_truth_labels(csa4.aig)
+        for adder in csa4.trace.adders:
+            assert labels["maj"][adder.carry_var] == 1, adder
+
+    def test_root_labels(self, csa4):
+        labels = ground_truth_labels(csa4.aig)
+        tree = extract_adder_tree(csa4.aig)
+        roots = tree.root_vars()
+        leaves = tree.leaf_vars()
+        for var in range(csa4.aig.num_vars):
+            expected = TASK1_OTHER
+            if var in roots and var in leaves:
+                expected = TASK1_ROOT_LEAF
+            elif var in roots:
+                expected = TASK1_ROOT
+            elif var in leaves:
+                expected = TASK1_LEAF
+            assert labels["root"][var] == expected
+
+    def test_pis_are_never_xor_or_maj(self, csa4):
+        labels = ground_truth_labels(csa4.aig)
+        for var in csa4.aig.input_vars():
+            assert labels["xor"][var] == 0
+            assert labels["maj"][var] == 0
+
+    def test_some_nodes_are_plain(self, csa4):
+        labels = ground_truth_labels(csa4.aig)
+        assert int(np.sum(labels["root"] == TASK1_OTHER)) > 0

@@ -1,0 +1,77 @@
+"""Structural detector: agreement with the functional reference."""
+
+import pytest
+
+from repro.aig import AIG, lit_not, lit_var
+from repro.generators import booth_multiplier, csa_multiplier
+from repro.reasoning import (
+    detect_xor_maj,
+    detect_xor_maj_structural,
+    extract_adder_tree,
+    match_xor_operands,
+)
+
+
+class TestXorShape:
+    def test_matches_generated_xor(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        y = aig.add_xor(a, b)
+        ops = match_xor_operands(aig, lit_var(y))
+        assert ops is not None
+        assert {lit_var(ops[0]), lit_var(ops[1])} == {lit_var(a), lit_var(b)}
+
+    def test_matches_xnor(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        y = aig.add_xnor(a, b)
+        assert match_xor_operands(aig, lit_var(y)) is not None
+
+    def test_rejects_plain_and(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        y = aig.add_and(a, b)
+        assert match_xor_operands(aig, lit_var(y)) is None
+
+    def test_rejects_or_of_disjoint_ands(self):
+        aig = AIG()
+        a, b, c, d = aig.add_inputs(4)
+        y = aig.add_or(aig.add_and(a, b), aig.add_and(c, d))
+        assert match_xor_operands(aig, lit_var(y)) is None
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("width", [3, 4, 8, 12])
+    def test_csa_exact_agreement(self, width):
+        gen = csa_multiplier(width)
+        functional = detect_xor_maj(gen.aig)
+        structural = detect_xor_maj_structural(gen.aig)
+        assert set(structural.xor_roots) == set(functional.xor_roots)
+        assert set(structural.maj_roots) == set(functional.maj_roots)
+
+    @pytest.mark.parametrize("width", [4, 8])
+    def test_booth_soundness(self, width):
+        """Structural detection must be a subset of functional truth."""
+        gen = booth_multiplier(width)
+        functional = detect_xor_maj(gen.aig)
+        structural = detect_xor_maj_structural(gen.aig)
+        assert set(structural.xor_roots) <= set(functional.xor_roots)
+        assert set(structural.maj_roots) <= set(functional.maj_roots)
+
+    def test_extraction_equivalent_on_csa(self, csa8):
+        func_tree = extract_adder_tree(csa8.aig, detect_xor_maj(csa8.aig))
+        struct_tree = extract_adder_tree(
+            csa8.aig, detect_xor_maj_structural(csa8.aig)
+        )
+        func_pairs = {(a.sum_var, a.carry_var) for a in func_tree.adders}
+        struct_pairs = {(a.sum_var, a.carry_var) for a in struct_tree.adders}
+        assert func_pairs == struct_pairs
+
+    def test_structural_is_fast_on_moderate_graph(self):
+        import time
+
+        gen = csa_multiplier(24)
+        start = time.perf_counter()
+        detect_xor_maj_structural(gen.aig)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0  # linear-time detector; generous CI bound

@@ -1,0 +1,106 @@
+"""Tests for exact functional XOR/MAJ root detection."""
+
+from repro.aig import AIG, lit_not, lit_var
+from repro.generators.components import full_adder, half_adder
+from repro.reasoning import detect_xor_maj, ha_carry_candidates
+
+
+class TestDetection:
+    def test_xor2_detected(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        y = aig.add_xor(a, b)
+        det = detect_xor_maj(aig)
+        assert det.is_xor(lit_var(y))
+        leaves = det.xor_roots[lit_var(y)]
+        assert (lit_var(a), lit_var(b)) in leaves
+
+    def test_xnor_detected_as_npn_equivalent(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        y = aig.add_xnor(a, b)
+        det = detect_xor_maj(aig)
+        assert det.is_xor(lit_var(y))
+
+    def test_xor3_detected(self):
+        aig = AIG()
+        a, b, c = aig.add_inputs(3)
+        y = aig.add_xor(aig.add_xor(a, b), c)
+        det = detect_xor_maj(aig)
+        target = tuple(sorted(lit_var(x) for x in (a, b, c)))
+        assert target in det.xor_roots[lit_var(y)]
+
+    def test_maj3_detected_in_or_form(self):
+        aig = AIG()
+        a, b, c = aig.add_inputs(3)
+        y = aig.add_maj3(a, b, c)
+        det = detect_xor_maj(aig)
+        target = tuple(sorted(lit_var(x) for x in (a, b, c)))
+        assert det.is_maj(lit_var(y))
+        assert target in det.maj_roots[lit_var(y)]
+
+    def test_maj_with_negated_input_detected(self):
+        aig = AIG()
+        a, b, c = aig.add_inputs(3)
+        y = aig.add_maj3(lit_not(a), b, c)
+        det = detect_xor_maj(aig)
+        assert det.is_maj(lit_var(y))
+
+    def test_plain_and_not_flagged(self):
+        aig = AIG()
+        a, b, c = aig.add_inputs(3)
+        y = aig.add_and(aig.add_and(a, b), c)
+        det = detect_xor_maj(aig)
+        assert not det.is_xor(lit_var(y))
+        assert not det.is_maj(lit_var(y))
+
+    def test_full_adder_roots(self):
+        aig = AIG()
+        a, b, c = aig.add_inputs(3)
+        s, co = full_adder(aig, a, b, c)
+        det = detect_xor_maj(aig)
+        assert det.is_xor(lit_var(s))
+        assert det.is_maj(lit_var(co))
+        # The internal propagate XOR is a root too (paper Fig. 3c node 17).
+        assert det.num_xor == 2
+
+    def test_counts_on_multiplier(self, csa4):
+        det = detect_xor_maj(csa4.aig)
+        # Every traced sum is an XOR root; every traced FA carry a MAJ root.
+        for adder in csa4.trace.adders:
+            assert det.is_xor(adder.sum_var)
+            if adder.kind == "FA":
+                assert det.is_maj(adder.carry_var)
+
+
+class TestHaCarryCandidates:
+    def test_plain_carry_found(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        s, c = half_adder(aig, a, b)
+        pool = ha_carry_candidates(aig)
+        pair = tuple(sorted((lit_var(a), lit_var(b))))
+        assert lit_var(c) in pool[pair]
+
+    def test_or_carry_found(self):
+        """¬a·¬b (the OR carry of an a+b+1 slice) is a candidate."""
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        n = aig.add_and(lit_not(a), lit_not(b))
+        pool = ha_carry_candidates(aig)
+        pair = tuple(sorted((lit_var(a), lit_var(b))))
+        assert lit_var(n) in pool[pair]
+
+    def test_mixed_polarity_carry_found(self):
+        """Slices with a complemented operand produce mixed-polarity
+        carries (``¬a·b``); they must stay in the pool."""
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        n = aig.add_and(lit_not(a), b)
+        pool = ha_carry_candidates(aig)
+        pair = tuple(sorted((lit_var(a), lit_var(b))))
+        assert lit_var(n) in pool[pair]
+
+    def test_all_pool_keys_are_distinct_pairs(self, csa4):
+        pool = ha_carry_candidates(csa4.aig)
+        assert all(len(set(key)) == 2 for key in pool)

@@ -1,0 +1,119 @@
+"""Tests for the genlib parser, expressions, and built-in libraries."""
+
+import pytest
+
+from repro.aig.npn import MAJ3, XOR3, npn_canon
+from repro.techmap.genlib import Cell, Library, parse_expression, parse_genlib
+from repro.techmap.libraries import FA_CELL_NAME, HA_CELL_NAME, asap7_like, mcnc_reduced
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "text,vars_,evals",
+        [
+            ("a*b", ["a", "b"], {(0, 0): 0, (1, 1): 1, (1, 0): 0}),
+            ("a+b", ["a", "b"], {(0, 0): 0, (1, 0): 1}),
+            ("!a", ["a"], {(0,): 1, (1,): 0}),
+            ("a^b", ["a", "b"], {(0, 1): 1, (1, 1): 0}),
+            ("!((a*b)+c)", ["a", "b", "c"], {(1, 1, 0): 0, (0, 0, 0): 1}),
+            ("a'", ["a"], {(0,): 1}),
+            ("a b", ["a", "b"], {(1, 1): 1, (1, 0): 0}),  # implicit AND
+            ("CONST1", [], {(): 1}),
+        ],
+    )
+    def test_parse_and_eval(self, text, vars_, evals):
+        expr = parse_expression(text)
+        assert expr.variables() == vars_
+        for bits, expected in evals.items():
+            assignment = dict(zip(vars_, bits))
+            assert expr.evaluate(assignment) == expected
+
+    def test_precedence_or_lowest(self):
+        expr = parse_expression("a+b*c")
+        # a + (b*c)
+        assert expr.evaluate({"a": 1, "b": 0, "c": 0}) == 1
+        assert expr.evaluate({"a": 0, "b": 1, "c": 0}) == 0
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ValueError):
+            parse_expression("(a*b")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_expression("a*b)")
+
+
+class TestCell:
+    def test_truth_table(self):
+        cell = Cell("nand2", 2.0, ["a", "b"], {"O": parse_expression("!(a*b)")})
+        assert cell.truth() == 0b0111
+
+    def test_multi_output_truths(self):
+        lib = asap7_like()
+        fa = lib[FA_CELL_NAME]
+        assert fa.is_multi_output
+        assert fa.truth("sn") == XOR3
+        assert fa.truth("con") == MAJ3
+
+    def test_ambiguous_truth_rejected(self):
+        fa = asap7_like()[FA_CELL_NAME]
+        with pytest.raises(ValueError):
+            fa.truth()
+
+
+class TestParser:
+    def test_parse_gate_lines(self):
+        lib = parse_genlib(
+            """
+            # comment
+            GATE inv 1.0 O=!a; PIN * INV 1 999 1 0 1 0
+            GATE and2 2.0 O=a*b;
+            """
+        )
+        assert len(lib) == 2
+        assert lib["inv"].truth() == 0b01
+        assert lib["and2"].area == 2.0
+
+    def test_malformed_gate_rejected(self):
+        with pytest.raises(ValueError):
+            parse_genlib("GATE broken 1.0\n")
+        with pytest.raises(ValueError):
+            parse_genlib("GATE broken 1.0 noequals;\n")
+
+    def test_duplicate_cells_rejected(self):
+        text = "GATE x 1.0 O=a;\nGATE x 2.0 O=!a;\n"
+        with pytest.raises(ValueError):
+            parse_genlib(text)
+
+
+class TestBuiltinLibraries:
+    def test_mcnc_constraints(self):
+        lib = mcnc_reduced()
+        # Paper: reduced library with gate input size <= 3 (mux21/aoi22
+        # reach 3-4 pins; the arithmetic gates stay <= 3).
+        assert lib.inverter().name == "inv1"
+        assert lib.buffer() is not None
+        assert all(not cell.is_multi_output for cell in lib.cells)
+
+    def test_asap7_has_multi_output_adders(self):
+        lib = asap7_like()
+        names = {cell.name for cell in lib.cells}
+        assert FA_CELL_NAME in names and HA_CELL_NAME in names
+        assert len(lib.multi_output_cells()) == 2
+        assert len(lib) > len(mcnc_reduced())
+
+    def test_asap7_has_xor3_and_maj(self):
+        lib = asap7_like()
+        assert npn_canon(lib["XOR3x1"].truth(), 3) == npn_canon(XOR3, 3)
+        assert npn_canon(lib["MAJ3x1"].truth(), 3) == npn_canon(MAJ3, 3)
+
+    def test_constants(self):
+        lib = mcnc_reduced()
+        assert lib.constant(0) is not None
+        assert lib.constant(1) is not None
+
+    def test_lookup_api(self):
+        lib = mcnc_reduced()
+        assert "xor2" in lib
+        assert "flipflop" not in lib
+        assert lib.find(lambda c: c.num_pins == 1 and c.truth() == 0b01).name == "inv1"

@@ -1,0 +1,99 @@
+"""Unit and property tests for truth-table manipulation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aig.truth import (
+    cofactors,
+    expand_truth,
+    truth_complement,
+    truth_from_function,
+    truth_mask,
+    truth_support,
+    var_truth,
+)
+
+
+class TestBasics:
+    def test_masks(self):
+        assert truth_mask(1) == 0b11
+        assert truth_mask(2) == 0xF
+        assert truth_mask(3) == 0xFF
+
+    def test_var_truth_patterns(self):
+        assert var_truth(0, 2) == 0b1010
+        assert var_truth(1, 2) == 0b1100
+        assert var_truth(0, 3) == 0xAA
+        assert var_truth(2, 3) == 0xF0
+
+    def test_known_functions(self):
+        assert truth_from_function(lambda a, b: a ^ b, 2) == 0b0110
+        assert truth_from_function(lambda a, b, c: a ^ b ^ c, 3) == 0x96
+        maj = truth_from_function(lambda a, b, c: (a & b) | (a & c) | (b & c), 3)
+        assert maj == 0xE8
+
+    def test_complement(self):
+        assert truth_complement(0x96, 3) == 0x69
+        assert truth_complement(truth_complement(0xE8, 3), 3) == 0xE8
+
+
+class TestExpand:
+    def test_identity_expansion(self):
+        assert expand_truth(0b0110, (0, 1), 2) == 0b0110
+
+    def test_expand_single_var(self):
+        # x0 expressed over 3 variables at position 2 becomes x2.
+        assert expand_truth(0b10, (2,), 3) == var_truth(2, 3)
+
+    def test_expand_xor2_to_three_vars(self):
+        xor2 = 0b0110
+        expanded = expand_truth(xor2, (0, 1), 3)
+        reference = truth_from_function(lambda a, b, c: a ^ b, 3)
+        assert expanded == reference
+
+    @given(
+        table=st.integers(min_value=0, max_value=0xF),
+        pos=st.permutations([0, 1, 2]),
+    )
+    def test_expansion_preserves_function(self, table, pos):
+        """Evaluating the expanded table on any minterm must agree with
+        evaluating the source table on the projected minterm."""
+        positions = tuple(sorted(pos[:2]))
+        expanded = expand_truth(table, positions, 3)
+        for minterm in range(8):
+            src = 0
+            for i, p in enumerate(positions):
+                if minterm & (1 << p):
+                    src |= 1 << i
+            assert ((expanded >> minterm) & 1) == ((table >> src) & 1)
+
+
+class TestCofactorsAndSupport:
+    def test_cofactors_of_xor(self):
+        neg, pos = cofactors(0x96, 0, 3)
+        # XOR3 cofactored on x0: both cofactors are XOR2-like over x1,x2.
+        assert neg == truth_from_function(lambda a, b, c: b ^ c, 3)
+        assert pos == truth_from_function(lambda a, b, c: 1 ^ b ^ c, 3)
+
+    def test_support_full_and_partial(self):
+        assert truth_support(0x96, 3) == (0, 1, 2)
+        only_x2 = var_truth(2, 3)
+        assert truth_support(only_x2, 3) == (2,)
+        assert truth_support(0, 3) == ()
+        assert truth_support(truth_mask(3), 3) == ()
+
+    @given(st.integers(min_value=0, max_value=0xFF))
+    def test_shannon_expansion(self, table):
+        """f = ¬x·f0 + x·f1 must reconstruct f exactly (Shannon)."""
+        for index in range(3):
+            neg, pos = cofactors(table, index, 3)
+            x = var_truth(index, 3)
+            rebuilt = (truth_complement(x, 3) & neg) | (x & pos)
+            assert rebuilt == table
+
+    @given(st.integers(min_value=0, max_value=0xFF))
+    def test_cofactors_remove_dependence(self, table):
+        for index in range(3):
+            neg, pos = cofactors(table, index, 3)
+            assert index not in truth_support(neg, 3)
+            assert index not in truth_support(pos, 3)

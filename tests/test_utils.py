@@ -1,0 +1,52 @@
+"""Tests for shared utilities (timing, RNG)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, format_seconds, seeded_rng
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_lap_and_restart(self):
+        with Timer() as timer:
+            first = timer.lap()
+            timer.restart()
+            second = timer.lap()
+        assert first >= 0.0
+        assert second >= 0.0
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "value,expect",
+        [
+            (0.0000012, "us"),
+            (0.0012, "ms"),
+            (1.2, "s"),
+            (75.0, "1m"),
+        ],
+    )
+    def test_units(self, value, expect):
+        assert expect in format_seconds(value)
+
+    def test_minute_format(self):
+        assert format_seconds(125.5) == "2m 5.5s"
+
+
+class TestSeededRng:
+    def test_default_seed_is_stable(self):
+        a = seeded_rng().integers(0, 1 << 30, size=5)
+        b = seeded_rng().integers(0, 1 << 30, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_explicit_seed_differs(self):
+        a = seeded_rng(1).integers(0, 1 << 30, size=5)
+        b = seeded_rng(2).integers(0, 1 << 30, size=5)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,172 @@
+"""Tests for the BDD package and combinational equivalence checking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import AIG, lit_not
+from repro.generators import csa_multiplier
+from repro.techmap import asap7_like, map_unmap, mcnc_reduced
+from repro.utils.random_circuits import random_aig
+from repro.verify import BDD, build_output_bdds, check_equivalence
+from repro.verify.cec import CecResult
+
+
+class TestBddBasics:
+    def test_terminals(self):
+        m = BDD(2)
+        assert m.evaluate(BDD.TRUE, [0, 0]) == 1
+        assert m.evaluate(BDD.FALSE, [1, 1]) == 0
+
+    def test_variable_projection(self):
+        m = BDD(3)
+        x1 = m.var(1)
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    assert m.evaluate(x1, [a, b, c]) == b
+
+    def test_hash_consing_canonical(self):
+        m = BDD(2)
+        left = m.apply_and(m.var(0), m.var(1))
+        right = m.apply_not(m.apply_or(m.apply_not(m.var(0)), m.apply_not(m.var(1))))
+        assert left == right  # same node reference: canonical form
+
+    def test_xor_satcount(self):
+        m = BDD(3)
+        f = m.apply_xor(m.apply_xor(m.var(0), m.var(1)), m.var(2))
+        assert m.count_sat(f) == 4
+
+    def test_any_sat(self):
+        m = BDD(3)
+        f = m.apply_and(m.var(0), m.apply_not(m.var(2)))
+        witness = m.any_sat(f)
+        assert witness is not None
+        assert m.evaluate(f, witness) == 1
+        assert m.any_sat(BDD.FALSE) is None
+
+    def test_support(self):
+        m = BDD(4)
+        f = m.apply_or(m.var(0), m.var(3))
+        assert m.support(f) == {0, 3}
+
+    def test_size_and_bounds(self):
+        m = BDD(2)
+        f = m.apply_and(m.var(0), m.var(1))
+        assert m.size(f) >= 3
+        with pytest.raises(ValueError):
+            m.var(5)
+        with pytest.raises(ValueError):
+            BDD(-1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["and", "or", "xor"]),
+                      st.integers(0, 3), st.integers(0, 3)),
+            min_size=1, max_size=6,
+        )
+    )
+    def test_bdd_matches_truth_semantics(self, ops):
+        """Random op chains evaluate identically to direct Boolean eval."""
+        m = BDD(4)
+        refs = [m.var(i) for i in range(4)]
+        for op, i, j in ops:
+            if op == "and":
+                refs.append(m.apply_and(refs[i % len(refs)], refs[j % len(refs)]))
+            elif op == "or":
+                refs.append(m.apply_or(refs[i % len(refs)], refs[j % len(refs)]))
+            else:
+                refs.append(m.apply_xor(refs[i % len(refs)], refs[j % len(refs)]))
+        final = refs[-1]
+        # Shadow evaluation on all 16 assignments via evaluate().
+        count = sum(
+            m.evaluate(final, [(k >> b) & 1 for b in range(4)])
+            for k in range(16)
+        )
+        assert m.count_sat(final) == count
+
+
+class TestBuildOutputBdds:
+    def test_multiplier_bdds_match_simulation(self):
+        gen = csa_multiplier(3)
+        manager, outputs = build_output_bdds(gen.aig)
+        for a in range(8):
+            for b in range(8):
+                bits = [(a >> i) & 1 for i in range(3)] + [
+                    (b >> i) & 1 for i in range(3)
+                ]
+                value = sum(
+                    manager.evaluate(ref, bits) << k for k, ref in enumerate(outputs)
+                )
+                assert value == a * b
+
+    def test_node_limit_enforced(self):
+        gen = csa_multiplier(8)
+        with pytest.raises(MemoryError):
+            build_output_bdds(gen.aig, node_limit=200)
+
+
+class TestCec:
+    def test_mapped_designs_equivalent(self, csa4):
+        for library in (mcnc_reduced(), asap7_like()):
+            result = check_equivalence(csa4.aig, map_unmap(csa4.aig, library))
+            assert result.equivalent
+            assert result.exact
+
+    def test_interface_mismatch(self):
+        left = AIG()
+        left.add_output(left.add_input())
+        right = AIG()
+        right.add_inputs(2)
+        result = check_equivalence(left, right)
+        assert not result.equivalent
+        assert result.engine == "interface"
+
+    def test_counterexample_is_real(self, csa4):
+        from repro.aig.simulate import evaluate_bits
+
+        broken = csa_multiplier(4)
+        broken.aig._outputs[2] = lit_not(broken.aig._outputs[2])
+        result = check_equivalence(csa4.aig, broken.aig, engine="bdd")
+        assert not result.equivalent
+        assert result.counterexample is not None
+        good = evaluate_bits(csa4.aig, result.counterexample)
+        bad = evaluate_bits(broken.aig, result.counterexample)
+        assert good[result.failing_output] != bad[result.failing_output]
+
+    def test_engines_agree(self, csa4):
+        other = map_unmap(csa4.aig, mcnc_reduced())
+        for engine in ("bdd", "exhaustive", "random"):
+            result = check_equivalence(csa4.aig, other, engine=engine)
+            assert result.equivalent, engine
+
+    def test_random_engine_not_exact(self, csa8):
+        other = map_unmap(csa8.aig, mcnc_reduced())
+        result = check_equivalence(csa8.aig, other, engine="random")
+        assert result.equivalent
+        assert not result.exact
+
+    def test_bdd_fallback_on_blowup(self, csa8):
+        """auto engine must fall back when multiplier BDDs explode."""
+        other = map_unmap(csa8.aig, mcnc_reduced())
+        result = check_equivalence(csa8.aig, other, engine="auto",
+                                   bdd_node_limit=500)
+        assert result.equivalent
+
+    def test_explicit_bdd_blowup_raises(self, csa8):
+        other = map_unmap(csa8.aig, mcnc_reduced())
+        with pytest.raises(MemoryError):
+            check_equivalence(csa8.aig, other, engine="bdd", bdd_node_limit=500)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_aig_self_equivalence(self, seed):
+        aig = random_aig(num_inputs=6, num_ands=30, num_outputs=3, seed=seed)
+        from repro.aig.transform import cleanup
+
+        result = check_equivalence(aig, cleanup(aig), engine="bdd")
+        assert result.equivalent
+
+    def test_repr(self):
+        assert "EQUIVALENT" in repr(CecResult(True, "bdd", True, 0.01))

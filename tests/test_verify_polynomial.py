@@ -1,0 +1,108 @@
+"""Property and unit tests for the multilinear polynomial algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.graph import make_lit
+from repro.verify.polynomial import Polynomial
+
+
+def random_poly(rng, num_vars=4, num_terms=5) -> Polynomial:
+    terms = {}
+    for _ in range(num_terms):
+        size = int(rng.integers(0, num_vars + 1))
+        monomial = frozenset(rng.choice(num_vars, size=size, replace=False) + 1)
+        terms[monomial] = int(rng.integers(-5, 6))
+    return Polynomial(terms)
+
+
+class TestConstruction:
+    def test_zero_coefficients_dropped(self):
+        poly = Polynomial({frozenset({1}): 0, frozenset(): 3})
+        assert poly.num_terms == 1
+
+    def test_constant(self):
+        assert Polynomial.constant(0).is_zero()
+        assert Polynomial.constant(5).terms == {frozenset(): 5}
+
+    def test_from_literal(self):
+        positive = Polynomial.from_literal(make_lit(3, 0))
+        negative = Polynomial.from_literal(make_lit(3, 1))
+        assert positive.terms == {frozenset({3}): 1}
+        assert negative.terms == {frozenset(): 1, frozenset({3}): -1}
+
+    def test_const_literals(self):
+        assert Polynomial.from_literal(0).is_zero()
+        assert Polynomial.from_literal(1).terms == {frozenset(): 1}
+
+
+class TestAlgebra:
+    def test_add_cancels(self):
+        x = Polynomial.variable(1)
+        assert (x - x).is_zero()
+
+    def test_idempotence(self):
+        x = Polynomial.variable(1)
+        assert x * x == x
+
+    def test_complement_squares_to_itself(self):
+        notx = Polynomial.from_literal(make_lit(1, 1))
+        assert notx * notx == notx
+
+    def test_xor_identity(self):
+        # x + y - 2xy evaluates like XOR on 0/1.
+        x, y = Polynomial.variable(1), Polynomial.variable(2)
+        xor = x + y - (x * y).scale(2)
+        for a in (0, 1):
+            for b in (0, 1):
+                assert xor.evaluate({1: a, 2: b}) == a ^ b
+
+    @settings(max_examples=30)
+    @given(seed=st.integers(0, 10_000))
+    def test_distributivity(self, seed):
+        rng = np.random.default_rng(seed)
+        p, q, r = (random_poly(rng) for _ in range(3))
+        assert p * (q + r) == p * q + p * r
+
+    @settings(max_examples=30)
+    @given(seed=st.integers(0, 10_000))
+    def test_mul_commutes_and_matches_eval(self, seed):
+        rng = np.random.default_rng(seed)
+        p, q = random_poly(rng), random_poly(rng)
+        assert p * q == q * p
+        assignment = {v: int(rng.integers(0, 2)) for v in range(1, 6)}
+        assert (p * q).evaluate(assignment) == p.evaluate(assignment) * q.evaluate(assignment)
+
+
+class TestSubstitution:
+    def test_substitute_variable(self):
+        x, y = Polynomial.variable(1), Polynomial.variable(2)
+        poly = x * y + x.scale(3)
+        # x := 1 - y  =>  (1-y)y + 3(1-y); with y² = y the first product
+        # vanishes, leaving 3 - 3y.
+        result = poly.substitute(1, Polynomial.constant(1) - y)
+        assert result == Polynomial.constant(3) - y.scale(3)
+
+    def test_substitute_absent_var_is_identity(self):
+        poly = Polynomial.variable(1) + Polynomial.constant(2)
+        assert poly.substitute(9, Polynomial.constant(0)) == poly
+
+    @settings(max_examples=30)
+    @given(seed=st.integers(0, 10_000))
+    def test_substitution_preserves_evaluation(self, seed):
+        """Substituting var := some 0/1-consistent poly must commute with
+        evaluation (soundness of backward rewriting)."""
+        rng = np.random.default_rng(seed)
+        poly = random_poly(rng)
+        # Replacement: the AND of vars 5 and 6 (a valid gate polynomial).
+        replacement = Polynomial.variable(5) * Polynomial.variable(6)
+        substituted = poly.substitute(1, replacement)
+        for trial in range(8):
+            assignment = {v: int(rng.integers(0, 2)) for v in range(1, 7)}
+            assignment[1] = assignment[5] * assignment[6]
+            assert substituted.evaluate(assignment) == poly.evaluate(assignment)
+
+    def test_support(self):
+        poly = Polynomial({frozenset({1, 2}): 1, frozenset({4}): -1})
+        assert poly.support() == {1, 2, 4}

@@ -1,0 +1,128 @@
+"""SCA verification tests: positive cases, fault injection, engine modes."""
+
+import pytest
+
+from repro.aig.graph import AIG, lit_not
+from repro.generators import booth_multiplier, csa_multiplier
+from repro.verify import SCAResult, TermExplosion, signature_polynomial, verify_multiplier
+
+
+class TestAdderAware:
+    @pytest.mark.parametrize("width", [2, 3, 4, 6, 8])
+    def test_csa_verifies(self, width):
+        result = verify_multiplier(csa_multiplier(width), mode="adder")
+        assert result.ok
+        assert result.residue_terms == 0
+
+    @pytest.mark.parametrize("style", ["wallace", "dadda"])
+    def test_other_reductions_verify(self, style):
+        result = verify_multiplier(csa_multiplier(5, style=style), mode="adder")
+        assert result.ok
+
+    def test_booth_verifies(self):
+        result = verify_multiplier(booth_multiplier(3), mode="adder",
+                                   max_terms=1_000_000)
+        assert result.ok
+
+    def test_peak_terms_stay_linear_ish(self):
+        """Adder-aware rewriting must keep the signature compact: the
+        carry-cancellation property (peak ≈ #columns, not exponential)."""
+        small = verify_multiplier(csa_multiplier(4), mode="adder")
+        large = verify_multiplier(csa_multiplier(8), mode="adder")
+        assert large.peak_terms <= small.peak_terms * 8
+
+
+class TestNaive:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_small_csa_verifies(self, width):
+        result = verify_multiplier(csa_multiplier(width), mode="naive")
+        assert result.ok
+
+    def test_naive_needs_more_terms_than_adder_aware(self):
+        naive = verify_multiplier(csa_multiplier(6), mode="naive",
+                                  max_terms=2_000_000)
+        smart = verify_multiplier(csa_multiplier(6), mode="adder")
+        assert naive.peak_terms > smart.peak_terms
+
+    def test_term_budget_enforced(self):
+        with pytest.raises(TermExplosion):
+            verify_multiplier(csa_multiplier(8), mode="naive", max_terms=50)
+
+
+class TestFaultInjection:
+    """A buggy multiplier must never verify (soundness)."""
+
+    def _broken_multiplier(self, width=4):
+        """Rebuild a multiplier but corrupt one partial product."""
+        from repro.generators.adders import reduce_columns, ripple_merge_columns
+        from repro.generators.components import AdderTrace
+        from repro.generators.multipliers import GeneratedMultiplier
+
+        aig = AIG(name="broken")
+        a_bits = aig.add_inputs(width, "a")
+        b_bits = aig.add_inputs(width, "b")
+        rows = []
+        for i, b_lit in enumerate(b_bits):
+            row = {}
+            for j, a_lit in enumerate(a_bits):
+                # Fault: pp[1][1] uses OR instead of AND.
+                if i == 1 and j == 1:
+                    bit = aig.add_or(a_lit, b_lit)
+                else:
+                    bit = aig.add_and(a_lit, b_lit)
+                row.setdefault(i + j, []).append(bit)
+            rows.append(row)
+        trace = AdderTrace()
+        reduced = reduce_columns(aig, rows, style="array", trace=trace)
+        word = ripple_merge_columns(aig, reduced, trace=trace)
+        for index, bit in enumerate(word[: 2 * width]):
+            aig.add_output(bit, f"p{index}")
+        return GeneratedMultiplier(aig, width, "csa", a_bits, b_bits, trace)
+
+    def test_fault_detected_adder_mode(self):
+        result = verify_multiplier(self._broken_multiplier(), mode="adder")
+        assert not result.ok
+        assert result.residue_terms > 0
+
+    def test_fault_detected_naive_mode(self):
+        result = verify_multiplier(self._broken_multiplier(3), mode="naive")
+        assert not result.ok
+
+    def test_output_swap_detected(self):
+        gen = csa_multiplier(3)
+        # Swap two product bits.
+        gen.aig._outputs[0], gen.aig._outputs[1] = (
+            gen.aig._outputs[1],
+            gen.aig._outputs[0],
+        )
+        result = verify_multiplier(gen, mode="adder")
+        assert not result.ok
+
+    def test_inverted_output_detected(self):
+        gen = csa_multiplier(3)
+        gen.aig._outputs[2] = lit_not(gen.aig._outputs[2])
+        result = verify_multiplier(gen, mode="adder")
+        assert not result.ok
+
+
+class TestApi:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            verify_multiplier(csa_multiplier(3), mode="magic")
+
+    def test_signature_polynomial_shape(self, csa4):
+        signature = signature_polynomial(csa4.aig)
+        # One term per non-constant output literal (plus constants merged).
+        assert signature.num_terms >= csa4.aig.num_outputs - 1
+
+    def test_result_repr(self):
+        result = SCAResult(True, "adder", 10, 20, 0.001)
+        assert "VERIFIED" in repr(result)
+
+    def test_verify_with_predicted_tree(self, csa8):
+        """Gamora integration hook: verification accepts an external tree."""
+        from repro.reasoning import extract_adder_tree
+
+        tree = extract_adder_tree(csa8.aig)
+        result = verify_multiplier(csa8, mode="adder", tree=tree)
+        assert result.ok

@@ -1,0 +1,70 @@
+"""Tests for word-level abstraction reports."""
+
+from repro.aig import AIG
+from repro.generators.adders import ripple_carry_adder
+from repro.reasoning import (
+    analyze_adder_tree,
+    extract_adder_tree,
+    partial_product_leaves,
+)
+
+
+class TestMultiplierReport:
+    def test_leaves_are_pps_or_pis(self, csa4):
+        tree = extract_adder_tree(csa4.aig)
+        pp_leaves, pi_leaves = partial_product_leaves(csa4.aig, tree)
+        # In a CSA multiplier every external adder input is a partial
+        # product (an AND of two PIs).
+        assert pp_leaves
+        for var in pp_leaves:
+            f0, f1 = csa4.aig.fanins(var)
+            assert csa4.aig.is_input(f0 >> 1)
+            assert csa4.aig.is_input(f1 >> 1)
+
+    def test_report_counts(self, csa4):
+        tree = extract_adder_tree(csa4.aig)
+        report = analyze_adder_tree(csa4.aig, tree)
+        assert report.num_adders == len(tree.adders)
+        assert report.num_full_adders == tree.num_full_adders
+        assert report.num_half_adders == tree.num_half_adders
+        assert sum(len(rank) for rank in report.ranks) == report.num_adders
+
+    def test_outputs_driven_by_roots(self, csa4):
+        tree = extract_adder_tree(csa4.aig)
+        report = analyze_adder_tree(csa4.aig, tree)
+        # The upper product bits of a multiplier come from final adders.
+        assert report.output_roots
+
+    def test_depth_grows_with_width(self):
+        from repro.generators import csa_multiplier
+
+        small = csa_multiplier(4)
+        large = csa_multiplier(8)
+        small_report = analyze_adder_tree(small.aig, extract_adder_tree(small.aig))
+        large_report = analyze_adder_tree(large.aig, extract_adder_tree(large.aig))
+        assert large_report.depth > small_report.depth
+
+    def test_summary_is_readable(self, csa4):
+        tree = extract_adder_tree(csa4.aig)
+        report = analyze_adder_tree(csa4.aig, tree)
+        text = report.summary()
+        assert "FA" in text and "HA" in text and "depth" in text
+
+
+class TestRippleReport:
+    def test_carry_chain_is_a_path(self):
+        aig = AIG()
+        a_bits = aig.add_inputs(6, "a")
+        b_bits = aig.add_inputs(6, "b")
+        sums, cout = ripple_carry_adder(aig, a_bits, b_bits)
+        for s in sums:
+            aig.add_output(s)
+        aig.add_output(cout)
+        tree = extract_adder_tree(aig)
+        report = analyze_adder_tree(aig, tree)
+        # A ripple chain has exactly one adder per rank.
+        assert all(len(rank) == 1 for rank in report.ranks)
+        assert report.depth == len(tree.adders)
+        # Ripple adder inputs are PIs, not partial products.
+        assert not report.pp_leaves
+        assert report.pi_leaves
