@@ -81,6 +81,7 @@ class AIG:
         self._output_names: list[str] = []
         self._strash: dict[tuple[int, int], int] = {}
         self._levels: list[int] | None = None  # lazy cache
+        self._shash: tuple[tuple[int, int], str] | None = None  # lazy cache
 
     # ------------------------------------------------------------------
     # Construction
@@ -333,6 +334,58 @@ class AIG:
             np.asarray(self._fanin0, dtype=np.int64),
             np.asarray(self._fanin1, dtype=np.int64),
         )
+
+    def structural_hash(self) -> str:
+        """128-bit hex digest of the circuit *structure* (not node ids).
+
+        The hash is computed bottom-up: every node's digest is derived only
+        from the digests of its fan-ins (with complement bits, commutatively
+        combined) and the final digest folds in the input count plus every
+        output literal in declaration order.  Consequences:
+
+        * it is deterministic across processes and runs (``hashlib.blake2b``,
+          no salting), so it can key persistent or cross-process caches;
+        * it is invariant under AND-node id permutation: two AIGs built from
+          equivalent construction orders hash identically even though their
+          variable numbering differs;
+        * it is sensitive to anything that changes the computed function's
+          wiring — input count/order, output order, output polarity, and
+          gate structure all change the digest.
+
+        Names (``self.name``, port symbols) are deliberately excluded: the
+        hash identifies structure, which is what reasoning results depend
+        on.  Because an :class:`AIG` is append-only, the digest is memoized
+        on ``(num_vars, num_outputs)``.  Used by
+        :mod:`repro.serve` to key the encoded-graph and reasoning-result
+        LRU caches.
+        """
+        import hashlib
+
+        key = (self.num_vars, self.num_outputs)
+        if self._shash is not None and self._shash[0] == key:
+            return self._shash[1]
+        node: list[bytes] = [b""] * self.num_vars
+        node[0] = hashlib.blake2b(b"const0", digest_size=16).digest()
+        for index, var in enumerate(self.input_vars()):
+            node[var] = hashlib.blake2b(
+                b"pi:%d" % index, digest_size=16
+            ).digest()
+        for var in self.and_vars():
+            f0, f1 = self._fanin0[var], self._fanin1[var]
+            a = node[f0 >> 1] + (b"-" if f0 & 1 else b"+")
+            b = node[f1 >> 1] + (b"-" if f1 & 1 else b"+")
+            if a > b:
+                a, b = b, a
+            node[var] = hashlib.blake2b(
+                b"and:" + a + b, digest_size=16
+            ).digest()
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(b"aig:%d:%d:" % (self._num_inputs, len(self._outputs)))
+        for lit in self._outputs:
+            digest.update(node[lit >> 1] + (b"-" if lit & 1 else b"+"))
+        result = digest.hexdigest()
+        self._shash = (key, result)
+        return result
 
     # ------------------------------------------------------------------
     # Misc

@@ -7,6 +7,8 @@ Subcommands cover the release's day-to-day flows:
 * ``extract`` — exact adder-tree extraction on a netlist;
 * ``train``   — train a Gamora model and save the weights;
 * ``reason``  — run a trained model over a netlist and report the tree;
+* ``batch-reason`` — reason over many netlists in one batched forward pass
+  (block-diagonal merge + structural-hash caching) with per-stage timing;
 * ``map``     — technology-map a netlist and report cell statistics;
 * ``cec``     — equivalence-check two netlists;
 * ``verify``  — SCA-verify a generated multiplier.
@@ -54,6 +56,19 @@ def build_parser() -> argparse.ArgumentParser:
     reason = sub.add_parser("reason", help="reason over a netlist with a model")
     reason.add_argument("model")
     reason.add_argument("netlist")
+
+    batch = sub.add_parser(
+        "batch-reason",
+        help="reason over many netlists in one batched inference pass",
+    )
+    batch.add_argument("model")
+    batch.add_argument("netlists", nargs="+")
+    batch.add_argument("--graph-cache", type=int, default=128,
+                       help="encoded-graph LRU capacity (0 disables)")
+    batch.add_argument("--result-cache", type=int, default=256,
+                       help="reasoning-result LRU capacity (0 disables)")
+    batch.add_argument("--compare-sequential", action="store_true",
+                       help="also run per-netlist reason() and report speedup")
 
     tmap = sub.add_parser("map", help="technology-map a netlist")
     tmap.add_argument("netlist")
@@ -141,6 +156,41 @@ def _cmd_reason(args) -> int:
     return 0
 
 
+def _cmd_batch_reason(args) -> int:
+    from repro.core import Gamora
+    from repro.serve import ReasoningService
+    from repro.utils.timing import Timer, format_seconds
+
+    gamora = Gamora.load(args.model)
+    aigs = [read_aiger(path) for path in args.netlists]
+    service = ReasoningService(
+        gamora, graph_cache_size=args.graph_cache,
+        result_cache_size=args.result_cache,
+    )
+    batch = service.reason_many(aigs)
+    for aig, outcome in zip(aigs, batch):
+        tree = outcome.tree
+        print(
+            f"{aig.name}: {tree.num_full_adders} FA, "
+            f"{tree.num_half_adders} HA, {outcome.num_mismatches} mismatches"
+        )
+    print(batch.stats.summary())
+    for name, counters in service.cache_stats().items():
+        print(f"{name} cache: {counters['hits']} hits, "
+              f"{counters['misses']} misses, {counters['evictions']} evictions")
+    if args.compare_sequential:
+        with Timer() as sequential_timer:
+            for aig in aigs:
+                gamora.reason(aig)
+        batched = batch.stats.total_seconds
+        print(
+            f"sequential {format_seconds(sequential_timer.elapsed)} vs "
+            f"batched {format_seconds(batched)} "
+            f"({sequential_timer.elapsed / max(batched, 1e-12):.2f}x speedup)"
+        )
+    return 0
+
+
 def _cmd_map(args) -> int:
     from repro.techmap import asap7_like, map_aig, mcnc_reduced, netlist_to_aig
 
@@ -184,6 +234,7 @@ _HANDLERS = {
     "extract": _cmd_extract,
     "train": _cmd_train,
     "reason": _cmd_reason,
+    "batch-reason": _cmd_batch_reason,
     "map": _cmd_map,
     "cec": _cmd_cec,
     "verify": _cmd_verify,

@@ -84,6 +84,7 @@ class Gamora:
         self.train_config = train_config or TrainConfig()
         self.net = GamoraNet(config)
         self.history: list[dict] = []
+        self._service = None  # lazy ReasoningService for reason_many
 
     # ------------------------------------------------------------------
     def prepare(self, circuit, with_labels: bool = True,
@@ -111,6 +112,8 @@ class Gamora:
         self.net, self.history = train_model(
             graphs, self.model_config, train_config, model=self.net
         )
+        # Weights changed: any cached reasoning results are stale.
+        self._service = None
         return self.history
 
     def predict(self, circuit) -> dict[str, np.ndarray]:
@@ -142,15 +145,53 @@ class Gamora:
             postprocess_seconds=post_timer.elapsed,
         )
 
+    def reason_many(self, circuits, root_filter: bool = False,
+                    correct_lsb: bool = True, lsb_outputs: int = 4):
+        """Batched :meth:`reason` over many circuits in one forward pass.
+
+        Circuits are deduplicated by structural hash, encoded through an
+        LRU cache, merged into one block-diagonal graph, inferred in a
+        single vectorized pass, and post-processed per circuit.  Returns a
+        :class:`repro.serve.BatchReasoningOutcome` — a sequence with one
+        :class:`ReasoningOutcome` per input circuit (input order preserved,
+        labels and extractions identical to sequential :meth:`reason`)
+        plus per-stage timing in ``.stats``.  The lazily built service (and
+        its caches) persists across calls and is dropped on :meth:`fit`.
+        """
+        from repro.serve import ReasoningService
+
+        if self._service is None:
+            self._service = ReasoningService(self)
+        return self._service.reason_many(
+            circuits, root_filter=root_filter,
+            correct_lsb=correct_lsb, lsb_outputs=lsb_outputs,
+        )
+
+    def predict_many(self, circuits) -> list[dict[str, np.ndarray]]:
+        """Batched :meth:`predict`: one forward pass over all circuits."""
+        from repro.learn.trainer import predict_labels_many
+
+        graphs = [self.prepare(c, with_labels=False) for c in circuits]
+        return predict_labels_many(self.net, graphs)
+
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Persist weights + configuration to an ``.npz`` file."""
+        """Persist weights + configuration to an ``.npz`` archive.
+
+        The archive is written to exactly ``path`` (no ``.npz`` suffix is
+        appended), so ``Gamora.load(path)`` always finds what ``save(path)``
+        wrote regardless of the extension the caller chose.
+        """
         path = Path(path)
         payload = {f"param:{k}": v for k, v in self.net.state_dict().items()}
         payload["config_json"] = np.frombuffer(
             json.dumps(self.model_config.to_dict()).encode("utf-8"), dtype=np.uint8
         )
-        np.savez(path, **payload)
+        # np.savez(<str path>) silently appends ".npz" when the suffix is
+        # missing, breaking load() on the caller's path; writing through an
+        # open file handle keeps the destination verbatim.
+        with open(path, "wb") as stream:
+            np.savez(stream, **payload)
 
     @classmethod
     def load(cls, path: str | Path) -> "Gamora":

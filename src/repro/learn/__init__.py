@@ -1,7 +1,13 @@
 """Learning pipeline: features, datasets, GamoraNet, training, inference."""
 
 from repro.learn.features import FEATURE_MODES, encode_features, num_features
-from repro.learn.data import GraphData, adjacency_operator, batch_graphs, build_graph_data
+from repro.learn.data import (
+    GraphData,
+    adjacency_operator,
+    batch_graphs,
+    build_graph_data,
+    unbatch_predictions,
+)
 from repro.learn.model import (
     TASK_CLASSES,
     GamoraNet,
@@ -11,7 +17,13 @@ from repro.learn.model import (
     encode_single_task,
     shallow_config,
 )
-from repro.learn.trainer import TrainConfig, evaluate_model, predict_labels, train_model
+from repro.learn.trainer import (
+    TrainConfig,
+    evaluate_model,
+    predict_labels,
+    predict_labels_many,
+    train_model,
+)
 from repro.learn.metrics import (
     confusion_matrix,
     multitask_accuracy,
@@ -35,6 +47,7 @@ __all__ = [
     "adjacency_operator",
     "batch_graphs",
     "build_graph_data",
+    "unbatch_predictions",
     "TASK_CLASSES",
     "GamoraNet",
     "ModelConfig",
@@ -45,6 +58,7 @@ __all__ = [
     "TrainConfig",
     "evaluate_model",
     "predict_labels",
+    "predict_labels_many",
     "train_model",
     "confusion_matrix",
     "multitask_accuracy",

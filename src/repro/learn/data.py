@@ -20,7 +20,13 @@ from repro.reasoning.adder_tree import ground_truth_labels
 from repro.reasoning.structural import detect_xor_maj_structural
 from repro.reasoning.xor_maj import detect_xor_maj
 
-__all__ = ["GraphData", "adjacency_operator", "build_graph_data", "batch_graphs"]
+__all__ = [
+    "GraphData",
+    "adjacency_operator",
+    "build_graph_data",
+    "batch_graphs",
+    "unbatch_predictions",
+]
 
 DIRECTIONS = ("in", "out", "both")
 TASKS = ("root", "xor", "maj")
@@ -144,3 +150,30 @@ def batch_graphs(graphs: list[GraphData]) -> GraphData:
         mask=mask,
         sizes=[n for g in graphs for n in g.sizes],
     )
+
+
+def unbatch_predictions(predictions: dict[str, np.ndarray],
+                        sizes: list[int]) -> list[dict[str, np.ndarray]]:
+    """Split block-diagonal per-node predictions back into per-graph dicts.
+
+    ``sizes`` is the node count of each member graph in batch order (e.g.
+    ``[g.num_nodes for g in graphs]`` or the merged graph's ``sizes``).
+    Rows are copied, so the returned arrays do not pin the merged batch in
+    memory — they are safe to hold in a long-lived cache.
+    """
+    total = sum(sizes)
+    for task, array in predictions.items():
+        if array.shape[0] != total:
+            raise ValueError(
+                f"prediction task {task!r} has {array.shape[0]} rows, "
+                f"but sizes sum to {total}"
+            )
+    split: list[dict[str, np.ndarray]] = []
+    offset = 0
+    for size in sizes:
+        split.append({
+            task: array[offset:offset + size].copy()
+            for task, array in predictions.items()
+        })
+        offset += size
+    return split

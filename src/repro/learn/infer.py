@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.learn.data import GraphData, batch_graphs
+from repro.learn.data import GraphData, batch_graphs, unbatch_predictions
 from repro.learn.fast import FastInference, compile_inference
 from repro.learn.model import GamoraNet
 from repro.utils.timing import Timer
@@ -54,13 +54,19 @@ def timed_inference(model: GamoraNet | FastInference,
 
 
 def batched_inference(model: GamoraNet | FastInference, graphs: list[GraphData],
-                      batch_size: int = 1) -> list[InferenceResult]:
+                      batch_size: int = 1,
+                      split: bool = False) -> list[InferenceResult]:
     """Run inference over ``graphs`` in block-diagonal batches.
 
     Returns one :class:`InferenceResult` per batch; per-design runtime is
     ``result.seconds / len(batch)``, the quantity Fig. 8 plots.  Batch
     assembly (the block-diagonal merge) is preprocessing and is excluded
     from the timings, as data loading is in the paper.
+
+    With ``split=True`` the merged predictions are fanned back out and one
+    result per *design* is returned instead (batch seconds amortized evenly
+    across the batch) — the shape consumers like
+    :class:`repro.serve.ReasoningService` want.
     """
     if batch_size < 1:
         raise ValueError("batch size must be >= 1")
@@ -69,7 +75,18 @@ def batched_inference(model: GamoraNet | FastInference, graphs: list[GraphData],
     for start in range(0, len(graphs), batch_size):
         chunk = graphs[start:start + batch_size]
         merged = chunk[0] if len(chunk) == 1 else batch_graphs(chunk)
-        results.append(timed_inference(kernel, merged))
+        batch_result = timed_inference(kernel, merged)
+        if not split:
+            results.append(batch_result)
+            continue
+        per_design = unbatch_predictions(
+            batch_result.predictions, [g.num_nodes for g in chunk]
+        )
+        share = batch_result.seconds / len(chunk)
+        results.extend(
+            InferenceResult(predictions, share, graph.num_nodes, graph.num_edges)
+            for predictions, graph in zip(per_design, chunk)
+        )
     return results
 
 

@@ -12,13 +12,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.learn.data import GraphData, batch_graphs
+from repro.learn.data import GraphData, batch_graphs, unbatch_predictions
 from repro.learn.metrics import multitask_accuracy
 from repro.learn.model import GamoraNet, ModelConfig, decode_single_task, encode_single_task
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
 
-__all__ = ["TrainConfig", "train_model", "evaluate_model", "predict_labels"]
+__all__ = [
+    "TrainConfig",
+    "train_model",
+    "evaluate_model",
+    "predict_labels",
+    "predict_labels_many",
+]
 
 
 @dataclass
@@ -102,6 +108,22 @@ def train_model(train_graphs: list[GraphData] | GraphData,
 def predict_labels(model: GamoraNet, data: GraphData) -> dict[str, np.ndarray]:
     """Hard per-task predictions for every node of ``data``."""
     return model.predict(data.features, data.adjacency)
+
+
+def predict_labels_many(model: GamoraNet,
+                        graphs: list[GraphData]) -> list[dict[str, np.ndarray]]:
+    """Predictions for many graphs through one block-diagonal forward pass.
+
+    The graphs are merged block-diagonally, inferred in a single vectorized
+    pass, and the per-node predictions are split back out per graph (same
+    order as the input).  Label-identical to calling :func:`predict_labels`
+    per graph — the equivalence is covered by ``tests/test_serve_batching.py``.
+    """
+    if not graphs:
+        return []
+    merged = graphs[0] if len(graphs) == 1 else batch_graphs(graphs)
+    merged_predictions = predict_labels(model, merged)
+    return unbatch_predictions(merged_predictions, [g.num_nodes for g in graphs])
 
 
 def evaluate_model(model: GamoraNet, data: GraphData) -> dict[str, float]:

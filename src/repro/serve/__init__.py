@@ -1,0 +1,18 @@
+"""Serving layer: batched, cached reasoning over trained Gamora models.
+
+``ReasoningService`` merges many circuits into one block-diagonal graph for
+a single forward pass, deduplicates structurally identical requests, and
+caches encodings and results in structural-hash keyed LRUs.  See
+:mod:`repro.serve.service` for the pipeline and caching semantics.
+"""
+
+from repro.serve.cache import StructuralHashCache, exact_fingerprint
+from repro.serve.service import BatchReasoningOutcome, BatchStats, ReasoningService
+
+__all__ = [
+    "StructuralHashCache",
+    "exact_fingerprint",
+    "BatchReasoningOutcome",
+    "BatchStats",
+    "ReasoningService",
+]

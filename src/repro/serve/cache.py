@@ -1,0 +1,129 @@
+"""Structural-hash keyed LRU caching for the reasoning service.
+
+The service caches two kinds of derived artifacts per circuit — the encoded
+:class:`~repro.learn.data.GraphData` and full reasoning results — keyed by
+:meth:`AIG.structural_hash() <repro.aig.graph.AIG.structural_hash>`.  That
+hash is *node-id permutation invariant*: two AIGs built from equivalent
+construction orders hash identically even though their variable numbering
+differs.  Cached artifacts, however, are indexed by variable id (feature
+rows, label arrays, extracted adder variables), so serving a permutation
+twin the other twin's encoding would silently misattribute every node.
+
+:class:`StructuralHashCache` therefore stores an *exact fingerprint* (a
+digest over the raw fan-in/output arrays, i.e. the concrete numbering) next
+to each entry and treats a fingerprint mismatch as a miss, recomputing and
+replacing the entry.  Lookups for a structure that was cached under a
+different node numbering are counted in ``fingerprint_conflicts``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from collections.abc import Callable
+from typing import Any
+
+from repro.aig.graph import AIG
+
+__all__ = ["StructuralHashCache", "exact_fingerprint"]
+
+
+def exact_fingerprint(aig: AIG) -> str:
+    """Digest of the concrete node numbering (fan-ins + outputs, verbatim).
+
+    Unlike :meth:`AIG.structural_hash` this is *not* permutation invariant:
+    it distinguishes two equivalent AIGs whose AND nodes were created in a
+    different order.  The cache uses it to guard hash-keyed entries whose
+    payloads are indexed by variable id.
+    """
+    fanin0, fanin1 = aig.fanin_arrays()
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(b"fp:%d:%d:" % (aig.num_inputs, aig.num_outputs))
+    digest.update(fanin0.tobytes())
+    digest.update(fanin1.tobytes())
+    digest.update(",".join(str(lit) for lit in aig.outputs).encode("ascii"))
+    return digest.hexdigest()
+
+
+class StructuralHashCache:
+    """A fingerprint-guarded LRU mapping hash keys to computed artifacts.
+
+    ``capacity <= 0`` disables the cache entirely (every lookup misses and
+    nothing is stored), which keeps call sites branch-free.  Counters:
+
+    * ``hits`` / ``misses`` — lookup outcomes (a fingerprint conflict counts
+      as a miss);
+    * ``evictions`` — entries dropped because the cache was full;
+    * ``fingerprint_conflicts`` — misses caused specifically by a key match
+      with a different concrete node numbering.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[Any, tuple[str, Any]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.fingerprint_conflicts = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def get(self, key: Any, fingerprint: str) -> Any | None:
+        """Return the cached value, or None on a miss (counted)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        stored_fingerprint, value = entry
+        if stored_fingerprint != fingerprint:
+            self.misses += 1
+            self.fingerprint_conflicts += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: Any, fingerprint: str, value: Any) -> None:
+        """Insert/replace an entry, evicting the least recently used."""
+        if self.capacity <= 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (fingerprint, value)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def get_or_build(self, key: Any, fingerprint: str,
+                     builder: Callable[[], Any]) -> Any:
+        """Cached value if present, else ``builder()`` (stored afterwards)."""
+        value = self.get(key, fingerprint)
+        if value is None:
+            value = builder()
+            self.put(key, fingerprint, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries; counters keep accumulating."""
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for logging and assertions."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "fingerprint_conflicts": self.fingerprint_conflicts,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"StructuralHashCache(size={len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

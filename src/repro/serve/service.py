@@ -1,0 +1,268 @@
+"""Batched reasoning service: one forward pass for many circuits.
+
+:class:`ReasoningService` is the serving layer over a trained
+:class:`~repro.core.api.Gamora`.  A call to :meth:`reason_many` takes N
+independent circuits and
+
+1. **deduplicates** them by :meth:`AIG.structural_hash()
+   <repro.aig.graph.AIG.structural_hash>` — repeated designs (the common
+   case under real traffic) are reasoned once per batch and served from the
+   result LRU on later batches;
+2. **encodes** the unique circuits to :class:`~repro.learn.data.GraphData`
+   through a structural-hash LRU, so re-submitted structures skip feature
+   and adjacency construction entirely;
+3. **merges** the encoded graphs into one block-diagonal mega-graph
+   (offset node ids, stacked features, CSR block-diagonal adjacency) and
+   runs a *single* vectorized forward pass instead of N;
+4. **fans out** the node predictions per circuit and post-processes each
+   into an adder tree, returning one
+   :class:`~repro.core.api.ReasoningOutcome` per input circuit, plus
+   per-stage timings in :class:`BatchStats`.
+
+Caching semantics
+-----------------
+Both caches are keyed by the permutation-invariant structural hash and
+guarded by an exact node-numbering fingerprint (see
+:mod:`repro.serve.cache`), so a cache can never hand back artifacts indexed
+under a different variable numbering.  Result-cache entries additionally
+key on the post-processing options, because the extraction depends on them.
+Cache hits share label arrays and extraction objects between outcomes —
+treat returned outcomes as read-only.
+
+The service snapshots nothing: it reads the bound Gamora's network at call
+time.  If you *retrain* the Gamora, cached encodings stay valid (features
+do not depend on weights) but cached results become stale — call
+:meth:`clear_result_cache` (``Gamora.fit`` drops its lazily built service
+automatically).
+
+The invariant that makes all of this safe — batched predictions are
+identical to sequential ones — is enforced by ``tests/test_serve_batching.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.aig.graph import AIG
+from repro.core.api import Gamora, ReasoningOutcome, _as_aig
+from repro.core.postprocess import extract_from_predictions
+from repro.learn.data import GraphData, batch_graphs, build_graph_data, unbatch_predictions
+from repro.learn.trainer import predict_labels, predict_labels_many
+from repro.serve.cache import StructuralHashCache, exact_fingerprint
+from repro.utils.timing import Timer
+
+__all__ = ["BatchStats", "BatchReasoningOutcome", "ReasoningService"]
+
+
+@dataclass
+class BatchStats:
+    """Per-stage accounting for one :meth:`ReasoningService.reason_many`."""
+
+    batch_size: int = 0
+    unique_circuits: int = 0  # distinct structures actually computed
+    result_hits: int = 0  # circuits served from the result LRU
+    graph_hits: int = 0  # encodings served from the graph LRU
+    graph_misses: int = 0  # encodings built this call
+    encode_seconds: float = 0.0
+    assemble_seconds: float = 0.0  # block-diagonal merge
+    inference_seconds: float = 0.0  # the single batched forward pass
+    postprocess_seconds: float = 0.0  # summed over unique circuits
+    total_seconds: float = 0.0
+    num_nodes: int = 0  # merged mega-graph size
+    num_edges: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"batch={self.batch_size} unique={self.unique_circuits} "
+            f"result_hits={self.result_hits} graph_hits={self.graph_hits} | "
+            f"encode {self.encode_seconds * 1e3:.1f}ms, "
+            f"assemble {self.assemble_seconds * 1e3:.1f}ms, "
+            f"infer {self.inference_seconds * 1e3:.1f}ms, "
+            f"post {self.postprocess_seconds * 1e3:.1f}ms, "
+            f"total {self.total_seconds * 1e3:.1f}ms"
+        )
+
+
+@dataclass
+class BatchReasoningOutcome:
+    """Sequence of per-circuit outcomes plus batch-level stats."""
+
+    outcomes: list[ReasoningOutcome] = field(default_factory=list)
+    stats: BatchStats = field(default_factory=BatchStats)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self) -> Iterator[ReasoningOutcome]:
+        return iter(self.outcomes)
+
+    def __getitem__(self, index):
+        return self.outcomes[index]
+
+
+class ReasoningService:
+    """Block-diagonal batched reasoning over a trained Gamora.
+
+    ``graph_cache_size`` bounds the encoded-:class:`GraphData` LRU and
+    ``result_cache_size`` the full-outcome LRU; either can be 0 to disable
+    that cache.  The service is the architectural seam for future scaling
+    work (sharded mega-batches, async post-processing workers): everything
+    upstream of :meth:`reason_many` only ever sees circuit objects, and
+    everything downstream only sees per-circuit outcomes.
+    """
+
+    def __init__(self, gamora: Gamora, graph_cache_size: int = 128,
+                 result_cache_size: int = 256) -> None:
+        self.gamora = gamora
+        self.graph_cache = StructuralHashCache(graph_cache_size)
+        self.result_cache = StructuralHashCache(result_cache_size)
+
+    # ------------------------------------------------------------------
+    def encode(self, circuit) -> GraphData:
+        """Encode one circuit, served from the structural-hash LRU."""
+        aig = _as_aig(circuit)
+        return self._encode(aig, aig.structural_hash(), exact_fingerprint(aig))
+
+    def _encode(self, aig: AIG, shash: str, fingerprint: str) -> GraphData:
+        config = self.gamora.model_config
+
+        def build() -> GraphData:
+            return build_graph_data(
+                aig,
+                feature_mode=config.feature_mode,
+                direction=config.direction,
+                with_labels=False,
+            )
+
+        return self.graph_cache.get_or_build(shash, fingerprint, build)
+
+    # ------------------------------------------------------------------
+    def predict_many(self, circuits) -> list[dict[str, np.ndarray]]:
+        """Per-node label predictions for each circuit, one forward pass.
+
+        Structurally identical circuits are encoded and inferred once; the
+        returned list still has one entry per input, in input order.
+        """
+        aigs = [_as_aig(c) for c in circuits]
+        if not aigs:
+            return []
+        unique: dict[tuple[str, str], int] = {}
+        slots: list[int] = []
+        datas: list[GraphData] = []
+        for aig in aigs:
+            key = (aig.structural_hash(), exact_fingerprint(aig))
+            if key not in unique:
+                unique[key] = len(datas)
+                datas.append(self._encode(aig, *key))
+            slots.append(unique[key])
+        per_graph = predict_labels_many(self.gamora.net, datas)
+        return [per_graph[slot] for slot in slots]
+
+    # ------------------------------------------------------------------
+    def reason_many(self, circuits, root_filter: bool = False,
+                    correct_lsb: bool = True,
+                    lsb_outputs: int = 4) -> BatchReasoningOutcome:
+        """Batched equivalent of calling :meth:`Gamora.reason` per circuit.
+
+        Returns one outcome per input circuit (input order preserved) with
+        labels and extractions identical to the sequential path; see the
+        module docstring for the pipeline and caching semantics.
+        """
+        stats = BatchStats()
+        with Timer() as total_timer:
+            aigs = [_as_aig(c) for c in circuits]
+            stats.batch_size = len(aigs)
+            options = (root_filter, correct_lsb, lsb_outputs)
+            outcomes: list[ReasoningOutcome | None] = [None] * len(aigs)
+            # First occurrence index of each still-uncached structure.
+            pending: dict[tuple[str, str], list[int]] = {}
+            for index, aig in enumerate(aigs):
+                key = (aig.structural_hash(), exact_fingerprint(aig))
+                cached = self.result_cache.get((key[0], options), key[1])
+                if cached is not None:
+                    labels, extraction = cached
+                    outcomes[index] = ReasoningOutcome(
+                        extraction=extraction, labels=labels,
+                        inference_seconds=0.0, postprocess_seconds=0.0,
+                    )
+                    stats.result_hits += 1
+                else:
+                    pending.setdefault(key, []).append(index)
+
+            if pending:
+                graph_hits_before = self.graph_cache.hits
+                with Timer() as encode_timer:
+                    datas = [
+                        self._encode(aigs[positions[0]], *key)
+                        for key, positions in pending.items()
+                    ]
+                stats.encode_seconds = encode_timer.elapsed
+                stats.graph_hits = self.graph_cache.hits - graph_hits_before
+                stats.graph_misses = len(datas) - stats.graph_hits
+
+                with Timer() as assemble_timer:
+                    merged = datas[0] if len(datas) == 1 else batch_graphs(datas)
+                stats.assemble_seconds = assemble_timer.elapsed
+                stats.num_nodes = merged.num_nodes
+                stats.num_edges = merged.num_edges
+
+                with Timer() as infer_timer:
+                    merged_labels = predict_labels(self.gamora.net, merged)
+                stats.inference_seconds = infer_timer.elapsed
+                per_graph = unbatch_predictions(
+                    merged_labels, [d.num_nodes for d in datas]
+                )
+
+                infer_share = stats.inference_seconds / len(datas)
+                for (key, positions), labels in zip(pending.items(), per_graph):
+                    aig = aigs[positions[0]]
+                    with Timer() as post_timer:
+                        extraction = extract_from_predictions(
+                            aig, labels, root_filter=root_filter,
+                            correct_lsb=correct_lsb, lsb_outputs=lsb_outputs,
+                        )
+                    stats.postprocess_seconds += post_timer.elapsed
+                    # The cached labels alias the arrays handed to callers;
+                    # freeze them so accidental mutation raises instead of
+                    # silently poisoning later cache hits.
+                    for array in labels.values():
+                        array.setflags(write=False)
+                    self.result_cache.put(
+                        (key[0], options), key[1], (labels, extraction)
+                    )
+                    for position in positions:
+                        outcomes[position] = ReasoningOutcome(
+                            extraction=extraction, labels=labels,
+                            inference_seconds=infer_share,
+                            postprocess_seconds=post_timer.elapsed,
+                        )
+
+            stats.unique_circuits = len(pending)
+        stats.total_seconds = total_timer.elapsed
+        return BatchReasoningOutcome(outcomes, stats)
+
+    # ------------------------------------------------------------------
+    def clear_result_cache(self) -> None:
+        """Drop cached outcomes (required after retraining the Gamora)."""
+        self.result_cache.clear()
+
+    def clear_caches(self) -> None:
+        """Drop both caches (encodings and results)."""
+        self.graph_cache.clear()
+        self.result_cache.clear()
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Counter snapshots of both LRUs."""
+        return {
+            "graph": self.graph_cache.stats(),
+            "result": self.result_cache.stats(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ReasoningService({self.gamora!r}, graph_cache="
+            f"{self.graph_cache!r}, result_cache={self.result_cache!r})"
+        )

@@ -53,6 +53,27 @@ class TestTrainReason:
         assert "adder tree" in out
 
 
+class TestBatchReason:
+    def test_batch_reason_stream_with_repeats(self, tmp_path, capsys):
+        model = tmp_path / "model.npz"
+        assert main(["train", str(model), "--width", "6", "--epochs", "40"]) == 0
+        small = tmp_path / "small.aag"
+        large = tmp_path / "large.aag"
+        assert main(["gen", str(small), "--width", "4"]) == 0
+        assert main(["gen", str(large), "--width", "6"]) == 0
+        capsys.readouterr()
+        assert main([
+            "batch-reason", str(model),
+            str(small), str(large), str(small),  # repeated design in stream
+            "--compare-sequential",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("FA") == 3  # one summary line per netlist
+        assert "batch=3 unique=2" in out  # dedup of the repeated design
+        assert "graph cache" in out and "result cache" in out
+        assert "speedup" in out
+
+
 class TestMapCec:
     def test_map_reports_cells(self, mult_file, tmp_path, capsys):
         out_path = tmp_path / "mapped.aag"

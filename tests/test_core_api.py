@@ -139,3 +139,26 @@ class TestPersistence:
         trained_gamora.save(path)
         restored = Gamora.load(path)
         assert restored.model_config.to_dict() == trained_gamora.model_config.to_dict()
+
+    def test_save_load_roundtrip_without_suffix(self, trained_gamora, tmp_path, csa4):
+        """save(path) must write exactly `path` even without an .npz suffix.
+
+        np.savez on a bare string path silently appends ".npz", which made
+        Gamora.load(path) on the very path the caller passed raise
+        FileNotFoundError."""
+        path = tmp_path / "model"  # deliberately no suffix
+        trained_gamora.save(path)
+        assert path.exists()
+        assert not (tmp_path / "model.npz").exists()
+        restored = Gamora.load(path)
+        original = trained_gamora.predict(csa4)
+        loaded = restored.predict(csa4)
+        for task in original:
+            np.testing.assert_array_equal(original[task], loaded[task])
+
+    def test_save_load_with_unusual_suffix(self, trained_gamora, tmp_path):
+        path = tmp_path / "model.weights"
+        trained_gamora.save(path)
+        assert path.exists()
+        assert Gamora.load(path).model_config.to_dict() == \
+            trained_gamora.model_config.to_dict()

@@ -21,6 +21,9 @@ from repro.reasoning import (
 from repro.techmap import asap7_like, map_unmap, mcnc_reduced
 from repro.verify import check_equivalence, verify_multiplier
 
+# Full train->reason->verify loops: minutes-scale, the CI fast lane skips them.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def gamora():

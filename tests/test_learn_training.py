@@ -213,6 +213,18 @@ class TestInference:
             merged_pred["xor"][: graphs[0].num_nodes], solo_pred["xor"]
         )
 
+    def test_batched_inference_split_fans_out_per_design(self, tiny_trained):
+        """split=True returns one result per design with its own rows."""
+        model, _data, _history = tiny_trained
+        graphs = [build_graph_data(csa_multiplier(w).aig, with_labels=False) for w in (4, 5, 6)]
+        per_design = batched_inference(model, graphs, batch_size=2, split=True)
+        assert len(per_design) == len(graphs)
+        for graph, result in zip(graphs, per_design):
+            assert result.num_nodes == graph.num_nodes
+            solo = timed_inference(model, graph).predictions
+            for task in solo:
+                np.testing.assert_array_equal(result.predictions[task], solo[task])
+
     def test_bad_batch_size(self, tiny_trained):
         model, data, _history = tiny_trained
         with pytest.raises(ValueError):

@@ -1,0 +1,219 @@
+"""Batched-vs-sequential equivalence properties of the reasoning service.
+
+The service's safety invariant: for any mix of circuits,
+``reason_many`` must produce labels and extractions *identical* to calling
+``reason`` per circuit — whether the answer came from the block-diagonal
+batched forward pass, within-batch dedup, or the structural-hash LRUs.
+Property tests draw random batches from a generator zoo (adders,
+multipliers, datapath blocks) and check the invariant end to end.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Gamora
+from repro.generators import (
+    booth_multiplier,
+    csa_multiplier,
+    dot_product,
+    multi_operand_adder,
+    multiply_accumulate,
+    squarer,
+)
+from repro.learn import TrainConfig, predict_labels_many, unbatch_predictions
+from repro.serve import ReasoningService
+
+# Small circuits keep per-example reasoning fast; the mix intentionally
+# spans CSA/Booth multipliers, adder trees, and datapath blocks.
+ZOO = [
+    lambda: csa_multiplier(3),
+    lambda: csa_multiplier(4),
+    lambda: csa_multiplier(5),
+    lambda: booth_multiplier(3),
+    lambda: booth_multiplier(4),
+    lambda: multi_operand_adder(4, 3),
+    lambda: dot_product(3, 2),
+    lambda: squarer(4),
+    lambda: multiply_accumulate(3),
+]
+SPEC_IDS = st.integers(0, len(ZOO) - 1)
+
+
+def tree_key(tree):
+    """Canonical comparable form of an extracted adder tree."""
+    return sorted(
+        (adder.kind, adder.sum_var, adder.carry_var, tuple(sorted(adder.leaves)))
+        for adder in tree.adders
+    )
+
+
+def assert_outcome_equal(batched, sequential):
+    """Labels and extraction of a batched outcome match the sequential one."""
+    assert set(batched.labels) == set(sequential.labels)
+    for task in sequential.labels:
+        np.testing.assert_array_equal(batched.labels[task], sequential.labels[task])
+    assert tree_key(batched.tree) == tree_key(sequential.tree)
+    assert batched.extraction.rejected_xor == sequential.extraction.rejected_xor
+    assert batched.extraction.rejected_maj == sequential.extraction.rejected_maj
+    assert batched.extraction.corrected_vars == sequential.extraction.corrected_vars
+
+
+@pytest.fixture(scope="module")
+def gamora():
+    model = Gamora(model="shallow", train_config=TrainConfig(epochs=80))
+    model.fit([csa_multiplier(6)])
+    return model
+
+
+@pytest.fixture(scope="module")
+def service(gamora):
+    return ReasoningService(gamora)
+
+
+@pytest.fixture(scope="module")
+def sequential_memo(gamora):
+    """Per-spec sequential reason() outcomes (deterministic per structure)."""
+    memo = {}
+
+    def lookup(spec_id):
+        if spec_id not in memo:
+            memo[spec_id] = gamora.reason(ZOO[spec_id]())
+        return memo[spec_id]
+
+    return lookup
+
+
+class TestBatchedEquivalence:
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    @given(spec_ids=st.lists(SPEC_IDS, min_size=1, max_size=4))
+    def test_reason_many_matches_sequential(self, spec_ids, service,
+                                            sequential_memo):
+        """Random generator mixes: batched == sequential, per circuit."""
+        circuits = [ZOO[spec_id]() for spec_id in spec_ids]
+        batch = service.reason_many(circuits)
+        assert len(batch) == len(circuits)
+        for spec_id, outcome in zip(spec_ids, batch):
+            assert_outcome_equal(outcome, sequential_memo(spec_id))
+
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    @given(spec_ids=st.lists(SPEC_IDS, min_size=1, max_size=4))
+    def test_predict_many_matches_predict(self, spec_ids, gamora):
+        """Batched label prediction is identical to per-circuit predict."""
+        circuits = [ZOO[spec_id]() for spec_id in spec_ids]
+        batched = gamora.predict_many(circuits)
+        for circuit, predictions in zip(circuits, batched):
+            solo = gamora.predict(circuit)
+            for task in solo:
+                np.testing.assert_array_equal(predictions[task], solo[task])
+
+    def test_empty_batch(self, gamora):
+        batch = gamora.reason_many([])
+        assert len(batch) == 0
+        assert list(batch) == []
+        assert batch.stats.batch_size == 0
+        assert gamora.predict_many([]) == []
+
+    def test_single_item_matches_reason(self, gamora, service):
+        circuit = csa_multiplier(4)
+        batch = service.reason_many([circuit])
+        assert len(batch) == 1
+        assert_outcome_equal(batch[0], gamora.reason(csa_multiplier(4)))
+
+    def test_duplicates_deduplicated_and_identical(self, gamora):
+        service = ReasoningService(gamora)
+        circuits = [csa_multiplier(4), booth_multiplier(3), csa_multiplier(4)]
+        batch = service.reason_many(circuits)
+        assert batch.stats.batch_size == 3
+        assert batch.stats.unique_circuits == 2
+        assert_outcome_equal(batch[0], batch[2])
+        assert_outcome_equal(batch[0], gamora.reason(csa_multiplier(4)))
+
+
+class TestServiceCaching:
+    def test_result_cache_round_trip_is_transparent(self, gamora):
+        service = ReasoningService(gamora)
+        circuits = [csa_multiplier(4), squarer(4)]
+        first = service.reason_many(circuits)
+        second = service.reason_many([squarer(4), csa_multiplier(4)])
+        assert second.stats.result_hits == 2
+        assert second.stats.unique_circuits == 0
+        assert_outcome_equal(second[0], first[1])
+        assert_outcome_equal(second[1], first[0])
+
+    def test_cached_labels_are_frozen(self, gamora):
+        """Outcome labels alias the result cache: mutation must raise, not
+        silently poison later cache hits."""
+        service = ReasoningService(gamora)
+        outcome = service.reason_many([csa_multiplier(4)])[0]
+        with pytest.raises(ValueError):
+            outcome.labels["root"][0] = 99
+
+    def test_option_changes_bypass_result_cache(self, gamora):
+        service = ReasoningService(gamora)
+        circuit = csa_multiplier(4)
+        service.reason_many([circuit])
+        changed = service.reason_many([circuit], correct_lsb=False)
+        assert changed.stats.result_hits == 0
+        assert_outcome_equal(
+            changed[0], gamora.reason(csa_multiplier(4), correct_lsb=False)
+        )
+
+    def test_disabled_caches_still_equivalent(self, gamora):
+        service = ReasoningService(gamora, graph_cache_size=0,
+                                   result_cache_size=0)
+        circuit = booth_multiplier(3)
+        first = service.reason_many([circuit])
+        second = service.reason_many([circuit])
+        assert second.stats.result_hits == 0
+        assert_outcome_equal(first[0], second[0])
+
+    def test_fit_drops_stale_service(self):
+        gamora = Gamora(model="shallow", train_config=TrainConfig(epochs=5))
+        gamora.fit([csa_multiplier(4)])
+        gamora.reason_many([csa_multiplier(4)])
+        stale = gamora._service
+        assert stale is not None
+        gamora.fit([csa_multiplier(4)], epochs=5)
+        assert gamora._service is None  # retraining invalidates cached results
+        fresh = gamora.reason_many([csa_multiplier(4)])
+        assert fresh.stats.result_hits == 0
+
+    def test_stats_accounting(self, gamora):
+        service = ReasoningService(gamora)
+        batch = service.reason_many([csa_multiplier(4), csa_multiplier(5)])
+        stats = batch.stats
+        assert stats.batch_size == 2
+        assert stats.unique_circuits == 2
+        assert stats.num_nodes == sum(
+            service.encode(c).num_nodes
+            for c in (csa_multiplier(4), csa_multiplier(5))
+        )
+        assert stats.inference_seconds > 0
+        assert stats.postprocess_seconds > 0
+        assert stats.total_seconds >= (
+            stats.inference_seconds + stats.postprocess_seconds
+        )
+        assert "batch=2" in stats.summary()
+
+
+class TestUnbatchPredictions:
+    def test_round_trip(self, gamora):
+        graphs = [
+            gamora.prepare(c, with_labels=False)
+            for c in (csa_multiplier(3), csa_multiplier(4))
+        ]
+        split = predict_labels_many(gamora.net, graphs)
+        assert len(split) == 2
+        for graph, predictions in zip(graphs, split):
+            for task, array in predictions.items():
+                assert array.shape[0] == graph.num_nodes
+
+    def test_size_mismatch_rejected(self):
+        predictions = {"root": np.zeros(5, dtype=np.int64)}
+        with pytest.raises(ValueError):
+            unbatch_predictions(predictions, [2, 2])
+
+    def test_empty_graph_list(self, gamora):
+        assert predict_labels_many(gamora.net, []) == []

@@ -14,6 +14,7 @@ class TestAdderAware:
         assert result.ok
         assert result.residue_terms == 0
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("style", ["wallace", "dadda"])
     def test_other_reductions_verify(self, style):
         result = verify_multiplier(csa_multiplier(5, style=style), mode="adder")
