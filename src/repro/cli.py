@@ -62,11 +62,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="reason over many netlists in one batched inference pass",
     )
     batch.add_argument("model")
-    batch.add_argument("netlists", nargs="+")
+    # nargs="*" so an empty list reaches the handler's validation (a clean
+    # one-line error + exit 2) instead of an argparse usage dump.
+    batch.add_argument("netlists", nargs="*")
     batch.add_argument("--graph-cache", type=int, default=128,
                        help="encoded-graph LRU capacity (0 disables)")
     batch.add_argument("--result-cache", type=int, default=256,
                        help="reasoning-result LRU capacity (0 disables)")
+    batch.add_argument("--max-shard-bytes", type=int, default=None,
+                       help="memory budget per block-diagonal shard "
+                            "(default: no sharding, one monolithic pass)")
+    batch.add_argument("--postprocess-workers", type=int, default=0,
+                       help="worker processes for per-netlist post-processing "
+                            "(default 0: in-process)")
     batch.add_argument("--compare-sequential", action="store_true",
                        help="also run per-netlist reason() and report speedup")
 
@@ -161,11 +169,22 @@ def _cmd_batch_reason(args) -> int:
     from repro.serve import ReasoningService
     from repro.utils.timing import Timer, format_seconds
 
+    if not args.netlists:
+        print("batch-reason: no netlists given", file=sys.stderr)
+        return 2
     gamora = Gamora.load(args.model)
-    aigs = [read_aiger(path) for path in args.netlists]
+    aigs = []
+    for path in args.netlists:
+        try:
+            aigs.append(read_aiger(path))
+        except (OSError, ValueError) as error:
+            print(f"batch-reason: cannot read {path}: {error}", file=sys.stderr)
+            return 2
     service = ReasoningService(
         gamora, graph_cache_size=args.graph_cache,
         result_cache_size=args.result_cache,
+        max_shard_bytes=args.max_shard_bytes,
+        postprocess_workers=args.postprocess_workers,
     )
     batch = service.reason_many(aigs)
     for aig, outcome in zip(aigs, batch):

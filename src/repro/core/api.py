@@ -146,17 +146,23 @@ class Gamora:
         )
 
     def reason_many(self, circuits, root_filter: bool = False,
-                    correct_lsb: bool = True, lsb_outputs: int = 4):
-        """Batched :meth:`reason` over many circuits in one forward pass.
+                    correct_lsb: bool = True, lsb_outputs: int = 4,
+                    max_shard_bytes: int | None = None,
+                    postprocess_workers: int = 0):
+        """Batched :meth:`reason` over many circuits via the serving layer.
 
         Circuits are deduplicated by structural hash, encoded through an
-        LRU cache, merged into one block-diagonal graph, inferred in a
-        single vectorized pass, and post-processed per circuit.  Returns a
-        :class:`repro.serve.BatchReasoningOutcome` — a sequence with one
-        :class:`ReasoningOutcome` per input circuit (input order preserved,
-        labels and extractions identical to sequential :meth:`reason`)
-        plus per-stage timing in ``.stats``.  The lazily built service (and
-        its caches) persists across calls and is dropped on :meth:`fit`.
+        LRU cache, merged into block-diagonal shards (each kept under
+        ``max_shard_bytes`` of estimated inference memory when set; one
+        monolithic pass otherwise), inferred shard by shard, and
+        post-processed per circuit — in ``postprocess_workers`` worker
+        processes overlapped with the next shard's inference when > 0.
+        Returns a :class:`repro.serve.BatchReasoningOutcome` — a sequence
+        with one :class:`ReasoningOutcome` per input circuit (input order
+        preserved, labels and extractions identical to sequential
+        :meth:`reason`) plus per-stage timing in ``.stats``.  The lazily
+        built service (and its caches) persists across calls and is
+        dropped on :meth:`fit`.
         """
         from repro.serve import ReasoningService
 
@@ -165,6 +171,8 @@ class Gamora:
         return self._service.reason_many(
             circuits, root_filter=root_filter,
             correct_lsb=correct_lsb, lsb_outputs=lsb_outputs,
+            max_shard_bytes=max_shard_bytes,
+            postprocess_workers=postprocess_workers,
         )
 
     def predict_many(self, circuits) -> list[dict[str, np.ndarray]]:

@@ -35,6 +35,7 @@ from repro.learn.infer import (
     A100_MEMORY_BYTES,
     InferenceResult,
     batched_inference,
+    estimate_batch_memory,
     estimate_inference_memory,
     timed_inference,
 )
@@ -69,6 +70,7 @@ __all__ = [
     "A100_MEMORY_BYTES",
     "InferenceResult",
     "batched_inference",
+    "estimate_batch_memory",
     "estimate_inference_memory",
     "timed_inference",
 ]

@@ -22,6 +22,7 @@ __all__ = [
     "timed_inference",
     "batched_inference",
     "estimate_inference_memory",
+    "estimate_batch_memory",
     "A100_MEMORY_BYTES",
 ]
 
@@ -128,3 +129,21 @@ def estimate_inference_memory(model: GamoraNet, num_nodes: int, num_edges: int,
     # Model weights are negligible but counted for completeness.
     total += model.num_parameters() * bytes_per_value
     return int(total)
+
+
+def estimate_batch_memory(model: GamoraNet, graphs: list[GraphData],
+                          bytes_per_value: int = 8,
+                          index_bytes: int = 8) -> int:
+    """Estimated peak bytes of one block-diagonal pass over ``graphs``.
+
+    The block-diagonal merge concatenates nodes and edges, so the estimate
+    is :func:`estimate_inference_memory` at the summed sizes — the quantity
+    the serving layer's shard planner keeps under ``max_shard_bytes``.
+    """
+    return estimate_inference_memory(
+        model,
+        sum(g.num_nodes for g in graphs),
+        sum(g.num_edges for g in graphs),
+        bytes_per_value=bytes_per_value,
+        index_bytes=index_bytes,
+    )

@@ -1,13 +1,20 @@
-"""Serving layer: batched, cached reasoning over trained Gamora models.
+"""Serving layer: sharded, parallel, cached reasoning over trained Gamoras.
 
-``ReasoningService`` merges many circuits into one block-diagonal graph for
-a single forward pass, deduplicates structurally identical requests, and
-caches encodings and results in structural-hash keyed LRUs.  See
-:mod:`repro.serve.service` for the pipeline and caching semantics.
+``ReasoningService`` merges many circuits into block-diagonal shards that
+each stay under an explicit inference-memory budget (``max_shard_bytes``,
+planned by :func:`repro.serve.sharding.plan_shards` from the analytic
+memory model), deduplicates structurally identical requests, caches
+encodings and results in structural-hash keyed LRUs, and fans per-circuit
+post-processing out to worker processes (``postprocess_workers``, via
+:class:`repro.serve.workers.PostprocessPool`) overlapped with the next
+shard's forward pass.  See :mod:`repro.serve.service` for the pipeline and
+caching semantics.
 """
 
 from repro.serve.cache import StructuralHashCache, exact_fingerprint
 from repro.serve.service import BatchReasoningOutcome, BatchStats, ReasoningService
+from repro.serve.sharding import Shard, ShardPlan, plan_shards
+from repro.serve.workers import PostprocessPool, fork_available
 
 __all__ = [
     "StructuralHashCache",
@@ -15,4 +22,9 @@ __all__ = [
     "BatchReasoningOutcome",
     "BatchStats",
     "ReasoningService",
+    "Shard",
+    "ShardPlan",
+    "plan_shards",
+    "PostprocessPool",
+    "fork_available",
 ]

@@ -69,8 +69,17 @@ class StructuralHashCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def __contains__(self, key: Any) -> bool:
-        return key in self._entries
+    def contains(self, key: Any, fingerprint: str) -> bool:
+        """Whether :meth:`get` would hit, without touching counters or LRU order.
+
+        Fingerprint-aware on purpose: a permutation twin stored under the
+        same structural hash but a different node numbering is *not*
+        contained — reporting it present while ``get()`` rejects it was
+        exactly the membership/lookup divergence this replaces (the old
+        ``in`` operator checked the key alone).
+        """
+        entry = self._entries.get(key)
+        return entry is not None and entry[0] == fingerprint
 
     def get(self, key: Any, fingerprint: str) -> Any | None:
         """Return the cached value, or None on a miss (counted)."""

@@ -1,4 +1,4 @@
-"""Batched reasoning service: one forward pass for many circuits.
+"""Batched reasoning service: sharded forward passes, parallel extraction.
 
 :class:`ReasoningService` is the serving layer over a trained
 :class:`~repro.core.api.Gamora`.  A call to :meth:`reason_many` takes N
@@ -11,13 +11,32 @@ independent circuits and
 2. **encodes** the unique circuits to :class:`~repro.learn.data.GraphData`
    through a structural-hash LRU, so re-submitted structures skip feature
    and adjacency construction entirely;
-3. **merges** the encoded graphs into one block-diagonal mega-graph
-   (offset node ids, stacked features, CSR block-diagonal adjacency) and
-   runs a *single* vectorized forward pass instead of N;
-4. **fans out** the node predictions per circuit and post-processes each
-   into an adder tree, returning one
-   :class:`~repro.core.api.ReasoningOutcome` per input circuit, plus
-   per-stage timings in :class:`BatchStats`.
+3. **plans shards** — when ``max_shard_bytes`` is set, the encoded graphs
+   are greedily bin-packed (:func:`repro.serve.sharding.plan_shards`) so
+   every block-diagonal merge stays under the analytic
+   :func:`~repro.learn.infer.estimate_inference_memory` budget; unbounded
+   batches run as one monolithic shard;
+4. **streams** each shard through assemble → infer, then hands the shard's
+   per-circuit predictions to the post-processing stage;
+5. **post-processes in parallel** — with ``postprocess_workers > 0`` the
+   per-circuit :func:`~repro.core.postprocess.extract_from_predictions`
+   calls run in a fork-based :class:`~repro.serve.workers.PostprocessPool`
+   *while the next shard's forward pass executes* (pipeline overlap);
+   results are reassembled in input order, and any worker failure falls
+   back to an in-process retry (counted in ``BatchStats.postprocess_fallbacks``).
+
+Scaling knobs
+-------------
+``max_shard_bytes``
+    Peak estimated bytes one shard's inference may use.  ``None``
+    (default) disables sharding.  Circuits whose standalone estimate
+    exceeds the budget still run, each as its own oversize shard.
+``postprocess_workers``
+    Worker processes for extraction.  ``0`` (default) runs in-process;
+    platforms without ``fork`` degrade to in-process automatically.
+
+Both can be set on the constructor (service-wide default) and overridden
+per :meth:`reason_many` call.
 
 Caching semantics
 -----------------
@@ -25,9 +44,13 @@ Both caches are keyed by the permutation-invariant structural hash and
 guarded by an exact node-numbering fingerprint (see
 :mod:`repro.serve.cache`), so a cache can never hand back artifacts indexed
 under a different variable numbering.  Result-cache entries additionally
-key on the post-processing options, because the extraction depends on them.
-Cache hits share label arrays and extraction objects between outcomes —
-treat returned outcomes as read-only.
+key on the *normalized* post-processing options (``lsb_outputs`` is
+ignored when ``correct_lsb`` is off, because it has no effect then).
+When the result cache is enabled, cache hits share label arrays and
+extraction objects between outcomes and the label arrays are frozen
+(mutation raises instead of silently poisoning later hits); with
+``result_cache_size=0`` nothing is stored and the labels stay writable,
+matching sequential :meth:`Gamora.reason`.
 
 The service snapshots nothing: it reads the bound Gamora's network at call
 time.  If you *retrain* the Gamora, cached encodings stay valid (features
@@ -35,12 +58,14 @@ do not depend on weights) but cached results become stale — call
 :meth:`clear_result_cache` (``Gamora.fit`` drops its lazily built service
 automatically).
 
-The invariant that makes all of this safe — batched predictions are
-identical to sequential ones — is enforced by ``tests/test_serve_batching.py``.
+The invariant that makes all of this safe — sharded/parallel/batched
+predictions are identical to sequential ones — is enforced by
+``tests/test_serve_batching.py`` and ``tests/test_serve_sharding.py``.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -48,18 +73,28 @@ import numpy as np
 
 from repro.aig.graph import AIG
 from repro.core.api import Gamora, ReasoningOutcome, _as_aig
-from repro.core.postprocess import extract_from_predictions
 from repro.learn.data import GraphData, batch_graphs, build_graph_data, unbatch_predictions
 from repro.learn.trainer import predict_labels, predict_labels_many
 from repro.serve.cache import StructuralHashCache, exact_fingerprint
+from repro.serve.sharding import ShardPlan, plan_shards
+from repro.serve.workers import PostprocessPool
 from repro.utils.timing import Timer
 
 __all__ = ["BatchStats", "BatchReasoningOutcome", "ReasoningService"]
 
+_UNSET = object()  # per-call override sentinel (None is a meaningful value)
+
 
 @dataclass
 class BatchStats:
-    """Per-stage accounting for one :meth:`ReasoningService.reason_many`."""
+    """Per-stage accounting for one :meth:`ReasoningService.reason_many`.
+
+    Stage timings accumulate across shards: ``inference_seconds`` is the
+    sum of every shard's forward pass and ``postprocess_seconds`` the sum
+    of per-circuit extraction times (worker-side wall clock in parallel
+    mode, so it can exceed the batch's total wall time — it is a CPU-time
+    sum, not a span).
+    """
 
     batch_size: int = 0
     unique_circuits: int = 0  # distinct structures actually computed
@@ -67,14 +102,30 @@ class BatchStats:
     graph_hits: int = 0  # encodings served from the graph LRU
     graph_misses: int = 0  # encodings built this call
     encode_seconds: float = 0.0
-    assemble_seconds: float = 0.0  # block-diagonal merge
-    inference_seconds: float = 0.0  # the single batched forward pass
+    assemble_seconds: float = 0.0  # block-diagonal merges, summed over shards
+    inference_seconds: float = 0.0  # forward passes, summed over shards
     postprocess_seconds: float = 0.0  # summed over unique circuits
     total_seconds: float = 0.0
-    num_nodes: int = 0  # merged mega-graph size
+    num_nodes: int = 0  # total nodes inferred, summed over shards
     num_edges: int = 0
+    num_shards: int = 0  # forward passes this call (0 if fully cached)
+    peak_shard_bytes: int = 0  # largest estimated shard footprint
+    oversize_shards: int = 0  # lone circuits that exceeded the budget
+    postprocess_workers: int = 0  # effective worker processes (0: in-process)
+    postprocess_fallbacks: int = 0  # worker failures recovered in-process
 
     def summary(self) -> str:
+        extra = ""
+        if self.num_shards > 1 or self.peak_shard_bytes:
+            extra = (
+                f" | shards={self.num_shards} "
+                f"peak={self.peak_shard_bytes / 1024 ** 2:.1f}MiB"
+            )
+        if self.postprocess_workers:
+            extra += (
+                f" workers={self.postprocess_workers}"
+                f" fallbacks={self.postprocess_fallbacks}"
+            )
         return (
             f"batch={self.batch_size} unique={self.unique_circuits} "
             f"result_hits={self.result_hits} graph_hits={self.graph_hits} | "
@@ -82,7 +133,7 @@ class BatchStats:
             f"assemble {self.assemble_seconds * 1e3:.1f}ms, "
             f"infer {self.inference_seconds * 1e3:.1f}ms, "
             f"post {self.postprocess_seconds * 1e3:.1f}ms, "
-            f"total {self.total_seconds * 1e3:.1f}ms"
+            f"total {self.total_seconds * 1e3:.1f}ms" + extra
         )
 
 
@@ -103,28 +154,54 @@ class BatchReasoningOutcome:
         return self.outcomes[index]
 
 
+def _circuit_key(aig: AIG) -> tuple[str, str]:
+    """The dedup identity of one circuit: structural hash + exact numbering.
+
+    Single source of truth for every cache/dedup key the service builds
+    (``reason_many``, ``predict_many``, ``plan``) — change it here and all
+    paths stay in sync.
+    """
+    return (aig.structural_hash(), exact_fingerprint(aig))
+
+
+def _normalize_options(root_filter: bool, correct_lsb: bool,
+                       lsb_outputs: int) -> tuple[bool, bool, int]:
+    """Canonical result-cache options key.
+
+    ``lsb_outputs`` only matters when LSB correction is on; collapsing it
+    to 0 otherwise lets semantically identical calls share a cache entry.
+    """
+    correct_lsb = bool(correct_lsb)
+    return (bool(root_filter), correct_lsb, int(lsb_outputs) if correct_lsb else 0)
+
+
 class ReasoningService:
-    """Block-diagonal batched reasoning over a trained Gamora.
+    """Sharded, parallel, block-diagonal batched reasoning over a Gamora.
 
     ``graph_cache_size`` bounds the encoded-:class:`GraphData` LRU and
     ``result_cache_size`` the full-outcome LRU; either can be 0 to disable
-    that cache.  The service is the architectural seam for future scaling
-    work (sharded mega-batches, async post-processing workers): everything
-    upstream of :meth:`reason_many` only ever sees circuit objects, and
-    everything downstream only sees per-circuit outcomes.
+    that cache.  ``max_shard_bytes`` and ``postprocess_workers`` are the
+    scaling knobs described in the module docstring; both default to the
+    PR 1 behavior (one monolithic pass, in-process extraction).
+    Everything upstream of :meth:`reason_many` only ever sees circuit
+    objects, and everything downstream only sees per-circuit outcomes.
     """
 
     def __init__(self, gamora: Gamora, graph_cache_size: int = 128,
-                 result_cache_size: int = 256) -> None:
+                 result_cache_size: int = 256,
+                 max_shard_bytes: int | None = None,
+                 postprocess_workers: int = 0) -> None:
         self.gamora = gamora
         self.graph_cache = StructuralHashCache(graph_cache_size)
         self.result_cache = StructuralHashCache(result_cache_size)
+        self.max_shard_bytes = max_shard_bytes
+        self.postprocess_workers = postprocess_workers
 
     # ------------------------------------------------------------------
     def encode(self, circuit) -> GraphData:
         """Encode one circuit, served from the structural-hash LRU."""
         aig = _as_aig(circuit)
-        return self._encode(aig, aig.structural_hash(), exact_fingerprint(aig))
+        return self._encode(aig, *_circuit_key(aig))
 
     def _encode(self, aig: AIG, shash: str, fingerprint: str) -> GraphData:
         config = self.gamora.model_config
@@ -153,7 +230,7 @@ class ReasoningService:
         slots: list[int] = []
         datas: list[GraphData] = []
         for aig in aigs:
-            key = (aig.structural_hash(), exact_fingerprint(aig))
+            key = _circuit_key(aig)
             if key not in unique:
                 unique[key] = len(datas)
                 datas.append(self._encode(aig, *key))
@@ -162,25 +239,55 @@ class ReasoningService:
         return [per_graph[slot] for slot in slots]
 
     # ------------------------------------------------------------------
+    def plan(self, circuits, max_shard_bytes=_UNSET) -> ShardPlan:
+        """Shard plan for ``circuits`` without running inference.
+
+        Encodes through the graph LRU (so planning a batch warms the same
+        cache serving it would) and packs the unique structures against the
+        byte budget — the service-wide ``max_shard_bytes`` unless
+        overridden here, so the plan matches what :meth:`reason_many`
+        would execute.  Useful for capacity checks and benchmark reporting.
+        """
+        if max_shard_bytes is _UNSET:
+            max_shard_bytes = self.max_shard_bytes
+        aigs = [_as_aig(c) for c in circuits]
+        seen: set[tuple[str, str]] = set()
+        datas: list[GraphData] = []
+        for aig in aigs:
+            key = _circuit_key(aig)
+            if key not in seen:
+                seen.add(key)
+                datas.append(self._encode(aig, *key))
+        return plan_shards(self.gamora.net, datas, max_shard_bytes)
+
+    # ------------------------------------------------------------------
     def reason_many(self, circuits, root_filter: bool = False,
-                    correct_lsb: bool = True,
-                    lsb_outputs: int = 4) -> BatchReasoningOutcome:
+                    correct_lsb: bool = True, lsb_outputs: int = 4,
+                    max_shard_bytes=_UNSET,
+                    postprocess_workers=_UNSET) -> BatchReasoningOutcome:
         """Batched equivalent of calling :meth:`Gamora.reason` per circuit.
 
         Returns one outcome per input circuit (input order preserved) with
         labels and extractions identical to the sequential path; see the
-        module docstring for the pipeline and caching semantics.
+        module docstring for the pipeline, the scaling knobs, and the
+        caching semantics.  ``max_shard_bytes`` and ``postprocess_workers``
+        override the service-wide settings for this call only.
         """
+        if max_shard_bytes is _UNSET:
+            max_shard_bytes = self.max_shard_bytes
+        if postprocess_workers is _UNSET:
+            postprocess_workers = self.postprocess_workers
+
         stats = BatchStats()
         with Timer() as total_timer:
             aigs = [_as_aig(c) for c in circuits]
             stats.batch_size = len(aigs)
-            options = (root_filter, correct_lsb, lsb_outputs)
+            options = _normalize_options(root_filter, correct_lsb, lsb_outputs)
             outcomes: list[ReasoningOutcome | None] = [None] * len(aigs)
             # First occurrence index of each still-uncached structure.
             pending: dict[tuple[str, str], list[int]] = {}
             for index, aig in enumerate(aigs):
-                key = (aig.structural_hash(), exact_fingerprint(aig))
+                key = _circuit_key(aig)
                 cached = self.result_cache.get((key[0], options), key[1])
                 if cached is not None:
                     labels, extraction = cached
@@ -193,56 +300,110 @@ class ReasoningService:
                     pending.setdefault(key, []).append(index)
 
             if pending:
-                graph_hits_before = self.graph_cache.hits
-                with Timer() as encode_timer:
-                    datas = [
-                        self._encode(aigs[positions[0]], *key)
-                        for key, positions in pending.items()
-                    ]
-                stats.encode_seconds = encode_timer.elapsed
-                stats.graph_hits = self.graph_cache.hits - graph_hits_before
-                stats.graph_misses = len(datas) - stats.graph_hits
+                self._reason_pending(
+                    aigs, pending, outcomes, options, stats,
+                    root_filter=root_filter, correct_lsb=correct_lsb,
+                    lsb_outputs=lsb_outputs, max_shard_bytes=max_shard_bytes,
+                    postprocess_workers=postprocess_workers,
+                )
 
+            stats.unique_circuits = len(pending)
+        stats.total_seconds = total_timer.elapsed
+        return BatchReasoningOutcome(outcomes, stats)
+
+    def _reason_pending(self, aigs, pending, outcomes, options, stats, *,
+                        root_filter: bool, correct_lsb: bool, lsb_outputs: int,
+                        max_shard_bytes: int | None,
+                        postprocess_workers: int) -> None:
+        """Encode → plan → stream shards → parallel-extract → reassemble."""
+        graph_hits_before = self.graph_cache.hits
+        with Timer() as encode_timer:
+            datas = [
+                self._encode(aigs[positions[0]], *key)
+                for key, positions in pending.items()
+            ]
+        stats.encode_seconds += encode_timer.elapsed
+        stats.graph_hits += self.graph_cache.hits - graph_hits_before
+        stats.graph_misses += len(datas) - stats.graph_hits
+
+        plan = plan_shards(self.gamora.net, datas, max_shard_bytes)
+        stats.num_shards = len(plan)
+        stats.peak_shard_bytes = plan.peak_shard_bytes
+        stats.oversize_shards = plan.num_oversize
+
+        # Alignment: pending's insertion order == datas' order; handles,
+        # labels, and inference shares are indexed the same way so results
+        # reassemble in input order no matter how the packer grouped them.
+        keys = list(pending)
+        handles: list = [None] * len(datas)
+        per_labels: list = [None] * len(datas)
+        infer_shares: list[float] = [0.0] * len(datas)
+
+        with PostprocessPool(postprocess_workers) as pool:
+            stats.postprocess_workers = pool.workers
+            for shard in plan:
+                shard_datas = [datas[i] for i in shard.indices]
                 with Timer() as assemble_timer:
-                    merged = datas[0] if len(datas) == 1 else batch_graphs(datas)
-                stats.assemble_seconds = assemble_timer.elapsed
-                stats.num_nodes = merged.num_nodes
-                stats.num_edges = merged.num_edges
+                    merged = (
+                        shard_datas[0] if len(shard_datas) == 1
+                        else batch_graphs(shard_datas)
+                    )
+                stats.assemble_seconds += assemble_timer.elapsed
+                stats.num_nodes += merged.num_nodes
+                stats.num_edges += merged.num_edges
 
                 with Timer() as infer_timer:
                     merged_labels = predict_labels(self.gamora.net, merged)
-                stats.inference_seconds = infer_timer.elapsed
-                per_graph = unbatch_predictions(
-                    merged_labels, [d.num_nodes for d in datas]
+                stats.inference_seconds += infer_timer.elapsed
+                shard_labels = unbatch_predictions(
+                    merged_labels, [d.num_nodes for d in shard_datas]
                 )
+                share = infer_timer.elapsed / len(shard.indices)
+                # Queue this shard's extractions; with workers they run
+                # while the next shard's forward pass executes above.
+                for data_index, labels in zip(shard.indices, shard_labels):
+                    per_labels[data_index] = labels
+                    infer_shares[data_index] = share
+                    handles[data_index] = pool.submit(
+                        aigs[pending[keys[data_index]][0]], labels,
+                        root_filter, correct_lsb, lsb_outputs,
+                    )
 
-                infer_share = stats.inference_seconds / len(datas)
-                for (key, positions), labels in zip(pending.items(), per_graph):
-                    aig = aigs[positions[0]]
-                    with Timer() as post_timer:
-                        extraction = extract_from_predictions(
-                            aig, labels, root_filter=root_filter,
-                            correct_lsb=correct_lsb, lsb_outputs=lsb_outputs,
-                        )
-                    stats.postprocess_seconds += post_timer.elapsed
+            store_results = self.result_cache.capacity > 0
+            for data_index, key in enumerate(keys):
+                extraction, post_seconds = handles[data_index].get()
+                stats.postprocess_seconds += post_seconds
+                labels = per_labels[data_index]
+                if store_results:
                     # The cached labels alias the arrays handed to callers;
                     # freeze them so accidental mutation raises instead of
-                    # silently poisoning later cache hits.
+                    # silently poisoning later cache hits.  With the cache
+                    # disabled nothing is stored, so the arrays stay
+                    # writable like sequential reason()'s.
                     for array in labels.values():
                         array.setflags(write=False)
                     self.result_cache.put(
                         (key[0], options), key[1], (labels, extraction)
                     )
-                    for position in positions:
-                        outcomes[position] = ReasoningOutcome(
-                            extraction=extraction, labels=labels,
-                            inference_seconds=infer_share,
-                            postprocess_seconds=post_timer.elapsed,
-                        )
-
-            stats.unique_circuits = len(pending)
-        stats.total_seconds = total_timer.elapsed
-        return BatchReasoningOutcome(outcomes, stats)
+                for slot, position in enumerate(pending[key]):
+                    if store_results or slot == 0:
+                        outcome_labels = labels
+                        outcome_extraction = extraction
+                    else:
+                        # Unfrozen results must not alias between duplicate
+                        # outcomes: sequential reason() gives every call its
+                        # own writable labels and extraction, so mutating
+                        # one twin must not touch the other.
+                        outcome_labels = {
+                            task: array.copy() for task, array in labels.items()
+                        }
+                        outcome_extraction = copy.deepcopy(extraction)
+                    outcomes[position] = ReasoningOutcome(
+                        extraction=outcome_extraction, labels=outcome_labels,
+                        inference_seconds=infer_shares[data_index],
+                        postprocess_seconds=post_seconds,
+                    )
+            stats.postprocess_fallbacks = pool.fallbacks
 
     # ------------------------------------------------------------------
     def clear_result_cache(self) -> None:
@@ -264,5 +425,7 @@ class ReasoningService:
     def __repr__(self) -> str:
         return (
             f"ReasoningService({self.gamora!r}, graph_cache="
-            f"{self.graph_cache!r}, result_cache={self.result_cache!r})"
+            f"{self.graph_cache!r}, result_cache={self.result_cache!r}, "
+            f"max_shard_bytes={self.max_shard_bytes}, "
+            f"postprocess_workers={self.postprocess_workers})"
         )

@@ -1,0 +1,150 @@
+"""Memory-bounded shard planning for block-diagonal mega-batches.
+
+A single ``reason_many`` call may carry more circuits than one block-diagonal
+forward pass can hold in memory.  :func:`plan_shards` splits the encoded
+graphs into *shards* — groups that are merged and inferred together — such
+that every shard's estimated peak inference memory (per
+:func:`repro.learn.infer.estimate_inference_memory`, the analytic model
+behind the paper's Fig. 8 curves) stays under an explicit byte budget.
+
+The planner is a greedy first-fit-decreasing bin-pack: graphs are considered
+from largest to smallest estimated footprint and placed into the first open
+shard whose *combined* estimate stays within ``max_shard_bytes`` (the
+estimate is monotone in nodes and edges, so re-evaluating the merged total
+is exact, not an approximation).  A graph that alone exceeds the budget
+becomes an *oversize singleton* shard — it still runs, just un-batched, and
+is flagged so callers can log the budget violation.
+
+Shards carry the member *indices* into the planner's input list, so a
+streaming consumer can reassemble per-graph results in input order no matter
+how the packer grouped them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.learn.data import GraphData
+from repro.learn.infer import estimate_inference_memory
+from repro.learn.model import GamoraNet
+
+__all__ = ["Shard", "ShardPlan", "plan_shards"]
+
+
+@dataclass
+class Shard:
+    """One group of graphs inferred through a single block-diagonal pass."""
+
+    indices: list[int] = field(default_factory=list)  # into the planner input
+    num_nodes: int = 0
+    num_edges: int = 0
+    estimated_bytes: int = 0
+    oversize: bool = False  # a lone graph that alone exceeds the budget
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+@dataclass
+class ShardPlan:
+    """The full packing of one batch, in streaming (execution) order."""
+
+    shards: list[Shard] = field(default_factory=list)
+    max_shard_bytes: int | None = None  # None: unbounded (single shard)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    @property
+    def peak_shard_bytes(self) -> int:
+        return max((s.estimated_bytes for s in self.shards), default=0)
+
+    @property
+    def num_oversize(self) -> int:
+        return sum(1 for s in self.shards if s.oversize)
+
+    def summary(self) -> str:
+        budget = (
+            "unbounded" if self.max_shard_bytes is None
+            else f"{self.max_shard_bytes / 1024 ** 2:.1f}MiB"
+        )
+        return (
+            f"{len(self.shards)} shard(s), peak "
+            f"{self.peak_shard_bytes / 1024 ** 2:.1f}MiB (budget {budget}, "
+            f"{self.num_oversize} oversize)"
+        )
+
+
+def plan_shards(model: GamoraNet, graphs: list[GraphData],
+                max_shard_bytes: int | None = None) -> ShardPlan:
+    """Pack encoded graphs into memory-bounded shards.
+
+    ``max_shard_bytes`` of ``None`` (or a non-positive value) disables
+    sharding: everything lands in one shard, which reproduces the PR 1
+    monolithic-pass behavior exactly.  Otherwise a greedy
+    first-fit-decreasing pack keeps each shard's
+    :func:`~repro.learn.infer.estimate_inference_memory` at or under the
+    budget; a graph whose standalone estimate already exceeds it becomes its
+    own ``oversize`` shard.  Shards are returned ordered by their smallest
+    member index, and each shard's ``indices`` are ascending, so execution
+    order is deterministic for a given input.
+    """
+    if not graphs:
+        return ShardPlan([], max_shard_bytes)
+    if max_shard_bytes is None or max_shard_bytes <= 0:
+        shard = Shard(
+            indices=list(range(len(graphs))),
+            num_nodes=sum(g.num_nodes for g in graphs),
+            num_edges=sum(g.num_edges for g in graphs),
+        )
+        shard.estimated_bytes = estimate_inference_memory(
+            model, shard.num_nodes, shard.num_edges
+        )
+        return ShardPlan([shard], None)
+
+    standalone = [
+        estimate_inference_memory(model, g.num_nodes, g.num_edges)
+        for g in graphs
+    ]
+    # Largest first; ties broken by input position for determinism.
+    order = sorted(range(len(graphs)), key=lambda i: (-standalone[i], i))
+    shards: list[Shard] = []
+    for index in order:
+        graph = graphs[index]
+        if standalone[index] > max_shard_bytes:
+            shards.append(Shard(
+                indices=[index],
+                num_nodes=graph.num_nodes,
+                num_edges=graph.num_edges,
+                estimated_bytes=standalone[index],
+                oversize=True,
+            ))
+            continue
+        for shard in shards:
+            if shard.oversize:
+                continue
+            combined = estimate_inference_memory(
+                model,
+                shard.num_nodes + graph.num_nodes,
+                shard.num_edges + graph.num_edges,
+            )
+            if combined <= max_shard_bytes:
+                shard.indices.append(index)
+                shard.num_nodes += graph.num_nodes
+                shard.num_edges += graph.num_edges
+                shard.estimated_bytes = combined
+                break
+        else:
+            shards.append(Shard(
+                indices=[index],
+                num_nodes=graph.num_nodes,
+                num_edges=graph.num_edges,
+                estimated_bytes=standalone[index],
+            ))
+    for shard in shards:
+        shard.indices.sort()
+    shards.sort(key=lambda s: s.indices[0])
+    return ShardPlan(shards, max_shard_bytes)

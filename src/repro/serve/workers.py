@@ -1,0 +1,158 @@
+"""Multiprocess post-processing pool for the reasoning service.
+
+Post-processing (cut verification + adder-tree extraction) dominates the
+CPU cost of serving — roughly 30:1 over inference on the reproduction's
+workloads — and is embarrassingly parallel across circuits.
+:class:`PostprocessPool` fans :func:`~repro.core.postprocess.extract_from_predictions`
+calls out to ``fork``-ed worker processes so one shard's extraction can run
+while the next shard's forward pass executes in the parent.
+
+Design constraints, in order:
+
+* **Correctness over speed** — a worker failure (exception, broken pool,
+  unpicklable payload) never loses a result: the parent re-runs that
+  circuit in-process and counts it in ``fallbacks``.
+* **Graceful degradation** — ``workers=0``, platforms without the ``fork``
+  start method (the payloads are cheap to fork, expensive to re-import
+  under ``spawn``), or a pool that fails to start all collapse to
+  synchronous in-process execution with identical results.
+* **Ordered reassembly** — :meth:`submit` returns a handle per circuit;
+  callers collect handles in whatever order they need, so results always
+  land back in input order regardless of worker scheduling.
+
+The pool is intentionally per-call scoped (a context manager): the service
+creates one around a ``reason_many`` pipeline and tears it down afterwards,
+so no worker processes outlive a request.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.postprocess import PredictedExtraction, extract_from_predictions
+from repro.utils.timing import Timer
+
+__all__ = ["PostprocessPool", "fork_available"]
+
+# Test hook: when this environment variable is set, the *worker-side* task
+# fails before extracting — raising for any value, or dying outright
+# (``os._exit``) for the value "exit" — exercising the parent's in-process
+# fallback for both soft and hard worker failures.  Only the worker checks
+# it; the fallback path calls extract_from_predictions directly and is
+# unaffected.
+FAULT_ENV = "REPRO_SERVE_POSTPROCESS_FAULT"
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _run_extraction(payload) -> tuple[PredictedExtraction, float]:
+    aig, labels, root_filter, correct_lsb, lsb_outputs = payload
+    with Timer() as timer:
+        extraction = extract_from_predictions(
+            aig, labels, root_filter=root_filter,
+            correct_lsb=correct_lsb, lsb_outputs=lsb_outputs,
+        )
+    return extraction, timer.elapsed
+
+
+def _worker_task(payload) -> tuple[PredictedExtraction, float]:
+    fault = os.environ.get(FAULT_ENV)
+    if fault == "exit":
+        os._exit(1)  # simulate an OOM-kill / segfault (test hook)
+    if fault:
+        raise RuntimeError("injected post-processing fault (test hook)")
+    return _run_extraction(payload)
+
+
+class PostprocessHandle:
+    """Deferred result of one submitted extraction.
+
+    Wraps either a live future (parallel mode) or an already-computed
+    value (synchronous mode).  :meth:`get` retries the work in the parent
+    process if the worker failed, so it always returns.
+    """
+
+    def __init__(self, pool: "PostprocessPool", payload,
+                 future=None, value=None) -> None:
+        self._pool = pool
+        self._payload = payload
+        self._future = future
+        self._value = value
+
+    def get(self) -> tuple[PredictedExtraction, float]:
+        if self._value is None:
+            try:
+                # A worker that raises propagates its exception here; a
+                # worker that dies outright (OOM-kill, segfault) surfaces
+                # as BrokenProcessPool — the executor, unlike
+                # multiprocessing.Pool, never leaves a lost task pending
+                # forever.  Both routes land in the fallback below.
+                self._value = self._future.result()
+            except Exception:
+                self._pool.fallbacks += 1
+                self._value = _run_extraction(self._payload)
+            self._payload = None  # allow the arrays to be collected
+        return self._value
+
+
+class PostprocessPool:
+    """A bounded pool of post-processing workers with in-process fallback.
+
+    ``workers=0`` (or an unavailable ``fork``) makes :meth:`submit` run the
+    extraction synchronously — same results, no processes.  ``parallel``
+    reports which mode is active; ``fallbacks`` counts worker failures that
+    were recovered in-process.
+    """
+
+    def __init__(self, workers: int = 0) -> None:
+        self.requested_workers = max(0, int(workers))
+        self.fallbacks = 0
+        self._executor = None
+        if self.requested_workers > 0 and fork_available():
+            try:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.requested_workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                )
+            except OSError:
+                self._executor = None
+        self.workers = self.requested_workers if self._executor is not None else 0
+
+    @property
+    def parallel(self) -> bool:
+        return self._executor is not None
+
+    def submit(self, aig, labels, root_filter: bool, correct_lsb: bool,
+               lsb_outputs: int) -> PostprocessHandle:
+        """Queue one extraction; returns a handle to collect it from."""
+        payload = (aig, labels, root_filter, correct_lsb, lsb_outputs)
+        if self._executor is None:
+            return PostprocessHandle(self, None, value=_run_extraction(payload))
+        try:
+            future = self._executor.submit(_worker_task, payload)
+        except Exception:
+            # e.g. a previous hard crash broke the executor: every later
+            # submit raises immediately; serve it in-process instead.
+            self.fallbacks += 1
+            return PostprocessHandle(self, None, value=_run_extraction(payload))
+        return PostprocessHandle(self, payload, future=future)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "PostprocessPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        mode = f"workers={self.workers}" if self.parallel else "in-process"
+        return f"PostprocessPool({mode}, fallbacks={self.fallbacks})"

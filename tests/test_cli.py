@@ -54,16 +54,21 @@ class TestTrainReason:
 
 
 class TestBatchReason:
-    def test_batch_reason_stream_with_repeats(self, tmp_path, capsys):
-        model = tmp_path / "model.npz"
-        assert main(["train", str(model), "--width", "6", "--epochs", "40"]) == 0
+    @pytest.fixture(scope="class")
+    def trained_model(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("batch") / "model.npz"
+        assert main(["train", str(path), "--width", "6", "--epochs", "40"]) == 0
+        return path
+
+    def test_batch_reason_stream_with_repeats(self, trained_model, tmp_path,
+                                              capsys):
         small = tmp_path / "small.aag"
         large = tmp_path / "large.aag"
         assert main(["gen", str(small), "--width", "4"]) == 0
         assert main(["gen", str(large), "--width", "6"]) == 0
         capsys.readouterr()
         assert main([
-            "batch-reason", str(model),
+            "batch-reason", str(trained_model),
             str(small), str(large), str(small),  # repeated design in stream
             "--compare-sequential",
         ]) == 0
@@ -72,6 +77,48 @@ class TestBatchReason:
         assert "batch=3 unique=2" in out  # dedup of the repeated design
         assert "graph cache" in out and "result cache" in out
         assert "speedup" in out
+
+    def test_batch_reason_sharded_with_workers(self, trained_model, tmp_path,
+                                               capsys):
+        """The scaling knobs: tiny shard budget + 2 post-processing workers."""
+        paths = []
+        for width in (4, 5):
+            path = tmp_path / f"m{width}.aag"
+            assert main(["gen", str(path), "--width", str(width)]) == 0
+            paths.append(str(path))
+        capsys.readouterr()
+        assert main([
+            "batch-reason", str(trained_model), *paths,
+            "--max-shard-bytes", "1", "--postprocess-workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("FA") == 2
+        assert "shards=2" in out  # 1-byte budget: every circuit its own shard
+        from repro.serve import fork_available
+
+        if fork_available():
+            assert "workers=2" in out
+
+    def test_batch_reason_no_netlists_is_clean_error(self, trained_model,
+                                                     capsys):
+        assert main(["batch-reason", str(trained_model)]) == 2
+        err = capsys.readouterr().err
+        assert err.strip() == "batch-reason: no netlists given"
+
+    def test_batch_reason_unreadable_file_is_clean_error(self, trained_model,
+                                                         tmp_path, capsys):
+        good = tmp_path / "good.aag"
+        assert main(["gen", str(good), "--width", "4"]) == 0
+        missing = tmp_path / "missing.aag"
+        garbage = tmp_path / "garbage.aag"
+        garbage.write_text("this is not an AIGER file\n")
+        capsys.readouterr()
+        for bad in (missing, garbage):
+            assert main(["batch-reason", str(trained_model),
+                         str(good), str(bad)]) == 2
+            err = capsys.readouterr().err
+            assert err.startswith(f"batch-reason: cannot read {bad}")
+            assert len(err.strip().splitlines()) == 1  # one line, no traceback
 
 
 class TestMapCec:

@@ -150,6 +150,50 @@ class TestServiceCaching:
         with pytest.raises(ValueError):
             outcome.labels["root"][0] = 99
 
+    def test_labels_writable_when_result_cache_disabled(self, gamora):
+        """Writability parity with the sequential path (regression).
+
+        With ``result_cache_size=0`` nothing aliases a cache entry, so
+        batched callers must get writable label arrays exactly like
+        ``Gamora.reason`` returns — the old code froze unconditionally.
+        """
+        service = ReasoningService(gamora, result_cache_size=0)
+        batched = service.reason_many([csa_multiplier(4)])[0]
+        sequential = gamora.reason(csa_multiplier(4))
+        for task in sequential.labels:
+            assert sequential.labels[task].flags.writeable
+            assert batched.labels[task].flags.writeable == \
+                sequential.labels[task].flags.writeable
+        batched.labels["root"][0] = 99  # must not raise
+
+    def test_duplicate_outcomes_do_not_alias_when_cache_disabled(self, gamora):
+        """Writable labels of within-batch duplicates must be independent:
+        mutating one outcome must not silently change its twin."""
+        service = ReasoningService(gamora, result_cache_size=0)
+        batch = service.reason_many([csa_multiplier(4), csa_multiplier(4)])
+        first, second = batch[0], batch[1]
+        original = second.labels["root"][0]
+        first.labels["root"][0] = original + 7
+        assert second.labels["root"][0] == original
+        # The extraction objects must be independent too.
+        num_adders = len(second.tree.adders)
+        first.tree.adders.clear()
+        assert len(second.tree.adders) == num_adders
+
+    def test_lsb_outputs_ignored_when_correction_off(self, gamora):
+        """``lsb_outputs`` has no effect with ``correct_lsb=False``; the
+        result-cache key is normalized so such calls share one entry."""
+        service = ReasoningService(gamora)
+        circuit = csa_multiplier(4)
+        first = service.reason_many([circuit], correct_lsb=False, lsb_outputs=4)
+        second = service.reason_many([circuit], correct_lsb=False, lsb_outputs=99)
+        assert second.stats.result_hits == 1
+        assert second.stats.unique_circuits == 0
+        assert_outcome_equal(second[0], first[0])
+        # With correction on, the knob is semantic again and must miss.
+        changed = service.reason_many([circuit], correct_lsb=True, lsb_outputs=2)
+        assert changed.stats.result_hits == 0
+
     def test_option_changes_bypass_result_cache(self, gamora):
         service = ReasoningService(gamora)
         circuit = csa_multiplier(4)

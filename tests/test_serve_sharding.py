@@ -1,0 +1,289 @@
+"""Sharded + parallel serving: planner properties and equivalence.
+
+The scaling knobs added on top of the batched service must never change
+answers: for any budget (including budgets that split the batch at every
+boundary or mark circuits oversize) and any worker count (including worker
+crashes), ``reason_many`` must return labels and extractions identical to
+sequential ``Gamora.reason``.  The planner itself is checked as a pure
+function: budget respected, exact partition, deterministic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Gamora
+from repro.generators import booth_multiplier, csa_multiplier, squarer
+from repro.learn import TrainConfig, estimate_batch_memory
+from repro.serve import PostprocessPool, ReasoningService, plan_shards
+from repro.serve.workers import FAULT_ENV
+
+ZOO = [
+    lambda: csa_multiplier(3),
+    lambda: csa_multiplier(4),
+    lambda: csa_multiplier(5),
+    lambda: booth_multiplier(3),
+    lambda: squarer(4),
+]
+SPEC_IDS = st.integers(0, len(ZOO) - 1)
+
+
+@pytest.fixture(scope="module")
+def gamora():
+    model = Gamora(model="shallow", train_config=TrainConfig(epochs=60))
+    model.fit([csa_multiplier(6)])
+    return model
+
+
+@pytest.fixture(scope="module")
+def zoo_graphs(gamora):
+    """Encoded graphs for the whole zoo (planner inputs)."""
+    service = ReasoningService(gamora)
+    return [service.encode(spec()) for spec in ZOO]
+
+
+@pytest.fixture(scope="module")
+def sequential_memo(gamora):
+    memo = {}
+
+    def lookup(spec_id):
+        if spec_id not in memo:
+            memo[spec_id] = gamora.reason(ZOO[spec_id]())
+        return memo[spec_id]
+
+    return lookup
+
+
+def assert_outcome_equal(batched, sequential):
+    assert set(batched.labels) == set(sequential.labels)
+    for task in sequential.labels:
+        np.testing.assert_array_equal(batched.labels[task], sequential.labels[task])
+    batched_tree = sorted(
+        (a.kind, a.sum_var, a.carry_var, tuple(sorted(a.leaves)))
+        for a in batched.tree.adders
+    )
+    sequential_tree = sorted(
+        (a.kind, a.sum_var, a.carry_var, tuple(sorted(a.leaves)))
+        for a in sequential.tree.adders
+    )
+    assert batched_tree == sequential_tree
+    assert batched.extraction.rejected_xor == sequential.extraction.rejected_xor
+    assert batched.extraction.rejected_maj == sequential.extraction.rejected_maj
+
+
+class TestShardPlanner:
+    def test_no_budget_is_single_shard(self, gamora, zoo_graphs):
+        plan = plan_shards(gamora.net, zoo_graphs, max_shard_bytes=None)
+        assert len(plan) == 1
+        assert sorted(plan.shards[0].indices) == list(range(len(zoo_graphs)))
+        assert plan.shards[0].num_nodes == sum(g.num_nodes for g in zoo_graphs)
+        assert not plan.shards[0].oversize
+        assert plan_shards(gamora.net, zoo_graphs, max_shard_bytes=0).max_shard_bytes is None
+
+    def test_empty_input(self, gamora):
+        assert len(plan_shards(gamora.net, [], max_shard_bytes=1024)) == 0
+
+    def test_budget_respected_and_partition_exact(self, gamora, zoo_graphs):
+        standalone = [estimate_batch_memory(gamora.net, [g]) for g in zoo_graphs]
+        budget = max(standalone) + min(standalone) // 2
+        plan = plan_shards(gamora.net, zoo_graphs, max_shard_bytes=budget)
+        assert len(plan) > 1  # the budget genuinely splits this batch
+        covered = sorted(i for shard in plan for i in shard.indices)
+        assert covered == list(range(len(zoo_graphs)))  # exact partition
+        for shard in plan:
+            assert not shard.oversize
+            assert shard.estimated_bytes <= budget
+            assert shard.estimated_bytes == estimate_batch_memory(
+                gamora.net, [zoo_graphs[i] for i in shard.indices]
+            )
+        assert plan.peak_shard_bytes <= budget
+
+    def test_oversize_singletons_get_own_shard(self, gamora, zoo_graphs):
+        standalone = [estimate_batch_memory(gamora.net, [g]) for g in zoo_graphs]
+        plan = plan_shards(gamora.net, zoo_graphs,
+                           max_shard_bytes=min(standalone) - 1)
+        assert len(plan) == len(zoo_graphs)
+        assert all(shard.oversize and len(shard) == 1 for shard in plan)
+        assert plan.num_oversize == len(zoo_graphs)
+        assert "oversize" in plan.summary()
+
+    def test_mixed_oversize_and_packed(self, gamora, zoo_graphs):
+        standalone = [estimate_batch_memory(gamora.net, [g]) for g in zoo_graphs]
+        # Budget admits everything but the largest graph.
+        budget = sorted(standalone)[-2] + 1
+        plan = plan_shards(gamora.net, zoo_graphs, max_shard_bytes=budget)
+        oversized = [shard for shard in plan if shard.oversize]
+        assert len(oversized) == 1
+        assert standalone[oversized[0].indices[0]] == max(standalone)
+        for shard in plan:
+            if not shard.oversize:
+                assert shard.estimated_bytes <= budget
+
+    def test_service_plan_uses_configured_budget(self, gamora, zoo_graphs):
+        """plan() must predict what reason_many actually executes."""
+        standalone = [estimate_batch_memory(gamora.net, [g]) for g in zoo_graphs]
+        budget = max(standalone) + 1
+        service = ReasoningService(gamora, max_shard_bytes=budget)
+        plan = service.plan([spec() for spec in ZOO])  # no override: use budget
+        assert plan.max_shard_bytes == budget
+        assert len(plan) > 1
+        unbounded = service.plan([spec() for spec in ZOO], None)  # explicit
+        assert len(unbounded) == 1
+
+    def test_deterministic(self, gamora, zoo_graphs):
+        budget = estimate_batch_memory(gamora.net, zoo_graphs) // 2
+        first = plan_shards(gamora.net, zoo_graphs, max_shard_bytes=budget)
+        second = plan_shards(gamora.net, zoo_graphs, max_shard_bytes=budget)
+        assert [s.indices for s in first] == [s.indices for s in second]
+        # Streaming order follows input order through the first member.
+        firsts = [s.indices[0] for s in first]
+        assert firsts == sorted(firsts)
+
+
+class TestShardedEquivalence:
+    def test_single_graph_shards_match_sequential(self, gamora, zoo_graphs,
+                                                  sequential_memo):
+        """Budget below every standalone estimate: one circuit per shard."""
+        standalone = [estimate_batch_memory(gamora.net, [g]) for g in zoo_graphs]
+        service = ReasoningService(gamora, result_cache_size=0,
+                                   max_shard_bytes=min(standalone) - 1)
+        spec_ids = list(range(len(ZOO)))
+        batch = service.reason_many([ZOO[i]() for i in spec_ids])
+        assert batch.stats.num_shards == len(ZOO)
+        assert batch.stats.oversize_shards == len(ZOO)
+        for spec_id, outcome in zip(spec_ids, batch):
+            assert_outcome_equal(outcome, sequential_memo(spec_id))
+
+    def test_shard_boundary_groups_match_sequential(self, gamora, zoo_graphs,
+                                                    sequential_memo):
+        """A budget that splits the batch mid-way (the boundary case)."""
+        standalone = [estimate_batch_memory(gamora.net, [g]) for g in zoo_graphs]
+        budget = max(standalone) + min(standalone) // 2
+        service = ReasoningService(gamora, result_cache_size=0,
+                                   max_shard_bytes=budget)
+        spec_ids = [0, 1, 2, 3, 4, 1, 0]  # includes within-batch duplicates
+        batch = service.reason_many([ZOO[i]() for i in spec_ids])
+        assert 1 < batch.stats.num_shards < len(ZOO)
+        assert batch.stats.peak_shard_bytes <= budget
+        for spec_id, outcome in zip(spec_ids, batch):
+            assert_outcome_equal(outcome, sequential_memo(spec_id))
+
+    def test_stats_accumulate_across_shards(self, gamora, zoo_graphs):
+        standalone = [estimate_batch_memory(gamora.net, [g]) for g in zoo_graphs]
+        service = ReasoningService(gamora, result_cache_size=0,
+                                   max_shard_bytes=max(standalone) + 1)
+        batch = service.reason_many([spec() for spec in ZOO])
+        stats = batch.stats
+        assert stats.num_shards > 1
+        # Totals are summed over shards, not overwritten by the last one.
+        assert stats.num_nodes == sum(g.num_nodes for g in zoo_graphs)
+        assert stats.num_edges == sum(g.num_edges for g in zoo_graphs)
+        assert stats.inference_seconds > 0
+        assert stats.postprocess_seconds > 0
+        assert f"shards={stats.num_shards}" in stats.summary()
+
+    def test_gamora_reason_many_passes_knobs_through(self, gamora,
+                                                     sequential_memo):
+        gamora._service = None  # fresh caches for a cold call
+        batch = gamora.reason_many(
+            [ZOO[0](), ZOO[1]()], max_shard_bytes=1, postprocess_workers=0
+        )
+        assert batch.stats.num_shards == 2
+        assert_outcome_equal(batch[0], sequential_memo(0))
+        assert_outcome_equal(batch[1], sequential_memo(1))
+        gamora._service = None  # do not leak the tiny budget to other tests
+
+    @settings(max_examples=8, deadline=None, derandomize=True)
+    @given(spec_ids=st.lists(SPEC_IDS, min_size=1, max_size=4),
+           budget_div=st.sampled_from([0, 1, 2, 8]))
+    def test_property_sharded_matches_unsharded(self, spec_ids, budget_div,
+                                                gamora, zoo_graphs,
+                                                sequential_memo):
+        """Any batch x any budget: identical to sequential reason()."""
+        total = estimate_batch_memory(gamora.net, zoo_graphs)
+        budget = None if budget_div == 0 else max(total // budget_div, 1)
+        service = ReasoningService(gamora, result_cache_size=0,
+                                   max_shard_bytes=budget)
+        batch = service.reason_many([ZOO[i]() for i in spec_ids])
+        for spec_id, outcome in zip(spec_ids, batch):
+            assert_outcome_equal(outcome, sequential_memo(spec_id))
+
+
+class TestParallelPostprocess:
+    def test_workers_match_sequential(self, gamora, sequential_memo):
+        service = ReasoningService(gamora, result_cache_size=0,
+                                   postprocess_workers=2)
+        spec_ids = [0, 3, 4, 0]
+        batch = service.reason_many([ZOO[i]() for i in spec_ids])
+        assert batch.stats.postprocess_fallbacks == 0
+        for spec_id, outcome in zip(spec_ids, batch):
+            assert_outcome_equal(outcome, sequential_memo(spec_id))
+        # Cache disabled: labels stay writable, like sequential reason().
+        assert batch[0].labels["root"].flags.writeable
+
+    def test_workers_with_sharding_match_sequential(self, gamora, zoo_graphs,
+                                                    sequential_memo):
+        standalone = [estimate_batch_memory(gamora.net, [g]) for g in zoo_graphs]
+        service = ReasoningService(
+            gamora, result_cache_size=0,
+            max_shard_bytes=max(standalone) + 1, postprocess_workers=2,
+        )
+        spec_ids = [0, 1, 2, 3, 4]
+        batch = service.reason_many([ZOO[i]() for i in spec_ids])
+        assert batch.stats.num_shards > 1
+        for spec_id, outcome in zip(spec_ids, batch):
+            assert_outcome_equal(outcome, sequential_memo(spec_id))
+
+    def test_worker_crash_falls_back_in_process(self, gamora, sequential_memo,
+                                                monkeypatch):
+        """Injected worker faults: every circuit is recovered in-process."""
+        monkeypatch.setenv(FAULT_ENV, "1")
+        service = ReasoningService(gamora, result_cache_size=0,
+                                   postprocess_workers=2)
+        spec_ids = [0, 3]
+        batch = service.reason_many([ZOO[i]() for i in spec_ids])
+        assert batch.stats.postprocess_fallbacks == len(spec_ids)
+        for spec_id, outcome in zip(spec_ids, batch):
+            assert_outcome_equal(outcome, sequential_memo(spec_id))
+
+    def test_worker_hard_crash_falls_back_in_process(self, gamora,
+                                                     sequential_memo,
+                                                     monkeypatch):
+        """A worker that dies outright (simulated OOM-kill) must not hang:
+        the broken executor surfaces the loss and every circuit is
+        recovered in-process."""
+        monkeypatch.setenv(FAULT_ENV, "exit")
+        service = ReasoningService(gamora, result_cache_size=0,
+                                   postprocess_workers=2)
+        spec_ids = [0, 3]
+        batch = service.reason_many([ZOO[i]() for i in spec_ids])
+        assert batch.stats.postprocess_fallbacks == len(spec_ids)
+        for spec_id, outcome in zip(spec_ids, batch):
+            assert_outcome_equal(outcome, sequential_memo(spec_id))
+
+    def test_fork_unavailable_degrades_to_in_process(self, gamora,
+                                                     sequential_memo,
+                                                     monkeypatch):
+        monkeypatch.setattr("repro.serve.workers.fork_available", lambda: False)
+        service = ReasoningService(gamora, result_cache_size=0,
+                                   postprocess_workers=4)
+        batch = service.reason_many([ZOO[0]()])
+        assert batch.stats.postprocess_workers == 0  # degraded, not failed
+        assert_outcome_equal(batch[0], sequential_memo(0))
+
+    def test_pool_lifecycle(self):
+        pool = PostprocessPool(0)
+        assert not pool.parallel and pool.workers == 0
+        with PostprocessPool(1) as live:
+            assert live.parallel == (live.workers > 0)  # False only without fork
+        assert not live.parallel  # closed on exit
+
+    def test_results_cached_through_parallel_path(self, gamora):
+        service = ReasoningService(gamora, postprocess_workers=2)
+        cold = service.reason_many([ZOO[0](), ZOO[1]()])
+        assert cold.stats.result_hits == 0
+        warm = service.reason_many([ZOO[1](), ZOO[0]()])
+        assert warm.stats.result_hits == 2
+        assert_outcome_equal(warm[0], cold[1])
+        assert_outcome_equal(warm[1], cold[0])

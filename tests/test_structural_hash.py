@@ -183,9 +183,26 @@ class TestLruCache:
         assert cache.get("a", "fp") == 1  # refresh "a"
         cache.put("c", "fp", 3)  # evicts "b" (least recently used)
         assert cache.evictions == 1
-        assert "b" not in cache
+        assert not cache.contains("b", "fp")
         assert cache.get("a", "fp") == 1
         assert cache.get("c", "fp") == 3
+
+    def test_contains_is_fingerprint_aware(self):
+        """Membership must agree with ``get()`` on permutation twins.
+
+        The old ``in`` operator checked the hash key alone, reporting a hit
+        for a twin cached under a different node numbering that ``get()``
+        would (correctly) reject — regression for that divergence.
+        """
+        cache = StructuralHashCache(capacity=4)
+        twin_a, twin_b = or_of_two_ands(True), or_of_two_ands(False)
+        key = twin_a.structural_hash()
+        cache.put(key, exact_fingerprint(twin_a), "a-encoding")
+        assert cache.contains(key, exact_fingerprint(twin_a))
+        assert not cache.contains(key, exact_fingerprint(twin_b))
+        # Peeking is pure: no counter or LRU-order side effects.
+        assert (cache.hits, cache.misses, cache.fingerprint_conflicts) == (0, 0, 0)
+        assert not cache.contains("absent", exact_fingerprint(twin_a))
 
     def test_zero_capacity_disables(self):
         cache = StructuralHashCache(capacity=0)
