@@ -15,6 +15,12 @@ from repro.aig.simulate import (
     simulation_equivalent,
 )
 from repro.aig.cuts import Cut, enumerate_cuts, node_cuts
+from repro.aig.fast_cuts import (
+    CutArrays,
+    classify_cut_arrays,
+    enumerate_cuts_arrays,
+    matched_leaf_sets,
+)
 from repro.aig.truth import (
     expand_truth,
     truth_from_function,
@@ -60,7 +66,11 @@ __all__ = [
     "simulate",
     "simulation_equivalent",
     "Cut",
+    "CutArrays",
+    "classify_cut_arrays",
     "enumerate_cuts",
+    "enumerate_cuts_arrays",
+    "matched_leaf_sets",
     "node_cuts",
     "expand_truth",
     "truth_from_function",

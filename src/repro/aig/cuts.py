@@ -111,6 +111,8 @@ def enumerate_cuts(aig: AIG, k: int = 3, max_cuts: int = 8,
     """
     if k < 2:
         raise ValueError("cut size k must be at least 2")
+    if max_cuts < 1:
+        raise ValueError("max_cuts must be at least 1")
     num_vars = aig.num_vars
     all_cuts: list[CutSet] = [[] for _ in range(num_vars)]
     all_cuts[0] = [Cut((0,), TRIVIAL_TRUTH)]  # constant node (never referenced)
@@ -152,6 +154,8 @@ def node_cuts(aig: AIG, var: int, k: int = 3, max_cuts: int = 8,
     sound for XOR/MAJ verification, whose structures span at most four
     levels, and it keeps the per-node cost constant instead of cone-sized.
     """
+    if max_cuts < 1:
+        raise ValueError("max_cuts must be at least 1")
     depth: dict[int, int] = {var: 0}
     frontier = [var]
     while frontier:

@@ -1,0 +1,489 @@
+"""Vectorized k ≤ 3 priority-cut enumeration over struct-of-arrays storage.
+
+This is the array-shaped twin of :mod:`repro.aig.cuts`: instead of per-node
+Python loops over :class:`~repro.aig.cuts.Cut` dataclasses, the whole graph
+is swept bottom-up one topological level at a time and every step of the
+merge — leaf union, feasibility, truth recomputation, dedup, dominance
+filtering, ranking — is a NumPy pass over all nodes of the level at once.
+With k ≤ 3 every cut function fits in a uint8 and every truth manipulation
+becomes a table lookup, which is what makes the sweep array-shaped.
+
+Array cut format
+----------------
+A :class:`CutArrays` holds, for ``N = aig.num_vars`` and ``C = max_cuts + 1``
+slots per node (the ``+ 1`` is the trivial cut):
+
+``leaves`` : ``(N, C, 3) int32``
+    Cut leaves, ascending within each slot, padded with ``pad = num_vars``
+    (an id no real variable can take).  Slot order is *identical* to the
+    legacy enumerator's list order: non-trivial cuts ranked by
+    ``(size, leaves)``, dominance-filtered, truncated to ``max_cuts``, then
+    the trivial cut ``(var,)`` last.
+``truths`` : ``(N, C) uint8``
+    Truth table of the root over the slot's leaves (root positive polarity),
+    masked to the cut's ``2**size`` valid bits — numerically equal to the
+    legacy :attr:`Cut.truth` integer.
+``sizes`` : ``(N, C) int8``
+    Number of leaves per slot (0 for unused slots).
+``counts`` : ``(N,) int32``
+    Number of valid slots per node; PIs and the constant node have exactly
+    their trivial cut.
+
+Equivalence with the legacy enumerator (same cuts, same truths, same slot
+order, including truncation and dominance edge cases) is enforced by
+``tests/test_fast_cuts.py``; the Cut-object API remains the differential
+oracle and the entry point for ``k > 3`` (technology mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aig.cuts import TRIVIAL_TRUTH, Cut, CutSet
+from repro.aig.graph import AIG
+
+__all__ = [
+    "CutArrays",
+    "enumerate_cuts_arrays",
+    "classify_cut_arrays",
+    "matched_leaf_sets",
+]
+
+# Truth-domain mask by cut size: 2**(2**size) - 1, saturated past size 3
+# (oversized unions are infeasible and masked out later anyway).
+_WIDTH_MASK = np.array([1, 3, 15, 255, 255, 255, 255], dtype=np.uint8)
+
+# Union-slot bit by leaf position (slots 0..2); positions 3..5 only occur
+# on infeasible unions and contribute nothing.
+_SLOT_BIT = np.array([1, 2, 4, 0, 0, 0], dtype=np.uint8)
+
+# Upper bound on candidate cells materialized per vectorized chunk; keeps
+# peak scratch memory level-independent on huge levels.  The merge holds a
+# handful of (cells, 6) int32/int64 scratch arrays at once, so 2^18 cells
+# bounds the transient footprint to a few tens of MiB — which also keeps
+# forked post-processing workers (one sweep each) within the serving
+# layer's memory budgeting.
+_CHUNK_CELLS = 1 << 18
+
+
+def _safe_pack_limit() -> int:
+    """Largest leaf-universe size ``v`` with ``5 * v**3 < 2**63``.
+
+    The rank key packs ``size * vp**3 + leaves`` into one int64 with
+    ``size <= k + 1 <= 4``; any pad-inclusive universe up to this bound is
+    overflow-free.  Computed exactly (integer arithmetic, no float cube
+    root) so the boundary cannot be off by one.
+    """
+    limit = int(round((np.iinfo(np.int64).max // 5) ** (1.0 / 3.0)))
+    while 5 * limit ** 3 >= np.iinfo(np.int64).max:
+        limit -= 1
+    while 5 * (limit + 1) ** 3 < np.iinfo(np.int64).max:
+        limit += 1
+    return limit
+
+
+_SAFE_PACK_LIMIT = _safe_pack_limit()
+
+
+def _build_expand_lut() -> np.ndarray:
+    """``EXPAND_LUT[mask, t]``: re-express truth ``t`` on 3 variables.
+
+    ``t`` is a function of ``popcount(mask)`` variables; source variable
+    ``i`` becomes the ``i``-th set bit of ``mask`` in the 3-variable target
+    domain.  Entry 0 is unused (every cut has at least one leaf).
+    """
+    lut = np.zeros((8, 256), dtype=np.uint8)
+    minterms = np.arange(8, dtype=np.uint16)
+    tables = np.arange(256, dtype=np.uint16)
+    for mask in range(1, 8):
+        positions = [p for p in range(3) if (mask >> p) & 1]
+        src = np.zeros(8, dtype=np.uint16)
+        for i, pos in enumerate(positions):
+            src |= ((minterms >> pos) & 1) << i
+        bits = (tables[:, None] >> src[None, :]) & 1  # (256 tables, 8 minterms)
+        lut[mask] = (bits << minterms[None, :]).sum(axis=1).astype(np.uint8)
+    return lut
+
+
+EXPAND_LUT = _build_expand_lut()
+
+
+@dataclass
+class CutArrays:
+    """Struct-of-arrays priority cuts for every variable (format above)."""
+
+    leaves: np.ndarray  # (N, C, 3) int32, padded with num_vars
+    truths: np.ndarray  # (N, C) uint8
+    sizes: np.ndarray  # (N, C) int8
+    counts: np.ndarray  # (N,) int32
+    k: int
+    max_cuts: int
+
+    @property
+    def num_vars(self) -> int:
+        return self.leaves.shape[0]
+
+    def cuts_of(self, var: int) -> CutSet:
+        """Legacy ``list[Cut]`` adapter for one variable (slot order kept)."""
+        out: CutSet = []
+        for slot in range(int(self.counts[var])):
+            size = int(self.sizes[var, slot])
+            out.append(
+                Cut(
+                    tuple(int(x) for x in self.leaves[var, slot, :size]),
+                    int(self.truths[var, slot]),
+                )
+            )
+        return out
+
+    def to_cutsets(self) -> list[CutSet]:
+        """Full conversion to the legacy per-variable cut lists."""
+        return [self.cuts_of(var) for var in range(self.num_vars)]
+
+    def __repr__(self) -> str:
+        return (
+            f"CutArrays(num_vars={self.num_vars}, k={self.k}, "
+            f"max_cuts={self.max_cuts}, total_cuts={int(self.counts.sum())})"
+        )
+
+
+def enumerate_cuts_arrays(aig: AIG, k: int = 3, max_cuts: int = 8,
+                          include_trivial: bool = True,
+                          pack_limit: int | None = None,
+                          restrict_to=None) -> CutArrays:
+    """Enumerate priority cuts for the whole graph in one bottom-up sweep.
+
+    Produces exactly the cuts (and slot order) of
+    :func:`repro.aig.cuts.enumerate_cuts` with the same parameters, but as
+    :class:`CutArrays` and with all per-level work vectorized.  Only
+    ``k ∈ {2, 3}`` is supported — larger cuts do not fit the uint8 truth
+    domain; use the legacy enumerator for those.
+
+    ``pack_limit`` overrides the int64-packing threshold that triggers
+    per-level leaf compaction on huge graphs (testing hook: a small value
+    forces the compaction path on small graphs).
+
+    ``restrict_to`` limits the sweep to the transitive fan-in cones of the
+    given root variables: nodes outside the cones keep ``counts == 0``.
+    Restricted nodes get *exactly* the cuts the full sweep would give them
+    (a node's cuts depend only on its fan-in cone), so consumers that only
+    read cone nodes — e.g. LSB repair — can skip the rest of the graph.
+    """
+    if k < 2:
+        raise ValueError("cut size k must be at least 2")
+    if k > 3:
+        raise ValueError(
+            f"fast cut engine handles k <= 3 (got k={k}); "
+            "use repro.aig.cuts.enumerate_cuts for wider cuts"
+        )
+    if max_cuts < 1:
+        raise ValueError("max_cuts must be at least 1")
+    num_vars = aig.num_vars
+    slots = max_cuts + (1 if include_trivial else 0)
+    # Slot capacity never exceeded: ranked cuts are truncated to max_cuts
+    # and the trivial cut takes one more slot.
+    pad = num_vars
+    leaves = np.full((num_vars, slots, 3), pad, dtype=np.int32)
+    truths = np.zeros((num_vars, slots), dtype=np.uint8)
+    sizes = np.zeros((num_vars, slots), dtype=np.int8)
+    counts = np.zeros(num_vars, dtype=np.int32)
+
+    # Constant node and PIs carry only their trivial cut (legacy behavior:
+    # the constant is treated as an opaque leaf variable).
+    boundary = np.arange(aig.num_inputs + 1)
+    leaves[boundary, 0, 0] = boundary
+    truths[boundary, 0] = TRIVIAL_TRUTH
+    sizes[boundary, 0] = 1
+    counts[boundary] = 1
+
+    if aig.num_ands == 0:
+        return CutArrays(leaves, truths, sizes, counts, k, max_cuts)
+
+    fanin0, fanin1 = aig.fanin_arrays()
+    state = (leaves, truths, sizes, counts)
+    if pack_limit is None:
+        pack_limit = _SAFE_PACK_LIMIT
+    elif pack_limit < 6 * slots + 2:
+        # Even a single-node chunk brings up to 6*slots distinct leaves
+        # (plus the pad) into one compacted universe; a limit below that
+        # cannot be honored and would wrap the int64 rank keys.
+        raise ValueError(
+            f"pack_limit must be at least {6 * slots + 2} "
+            f"for max_cuts={max_cuts}, got {pack_limit}"
+        )
+    # Chunk size bounds two things at once: scratch memory (fixed cell
+    # budget per chunk) and — on graphs big enough to need per-level leaf
+    # compaction — the compacted leaf universe, which must stay under the
+    # int64 packing limit (each node contributes at most 6*slots leaves).
+    step = max(1, min(_CHUNK_CELLS // (slots * slots),
+                      (pack_limit - 2) // (6 * slots)))
+    cone_mask = None
+    if restrict_to is not None:
+        cone_mask = np.zeros(num_vars, dtype=bool)
+        cone_mask[list(aig.transitive_fanin(restrict_to))] = True
+    for batch in aig.and_level_batches():
+        if cone_mask is not None:
+            batch = batch[cone_mask[batch]]
+            if not len(batch):
+                continue
+        for chunk in range(0, len(batch), step):
+            _merge_level(
+                aig, batch[chunk:chunk + step], fanin0, fanin1, state,
+                k=k, max_cuts=max_cuts, include_trivial=include_trivial,
+                pad=pad, pack_limit=pack_limit,
+            )
+    return CutArrays(leaves, truths, sizes, counts, k, max_cuts)
+
+
+_ARANGE_CACHE: dict[int, np.ndarray] = {}
+_ARANGE_CACHE_MAX = 512  # cache only small sizes (cut-slot counts, narrow
+# levels): bounds the module-global to <1 MiB total while covering the
+# sizes that recur every level; big per-chunk aranges are cheap relative
+# to the passes around them and would pin memory for the process lifetime.
+
+
+def _arange(n: int) -> np.ndarray:
+    if n > _ARANGE_CACHE_MAX:
+        return np.arange(n)
+    got = _ARANGE_CACHE.get(n)
+    if got is None:
+        got = _ARANGE_CACHE[n] = np.arange(n)
+    return got
+
+
+def _merge_level(aig: AIG, batch: np.ndarray, fanin0: np.ndarray,
+                 fanin1: np.ndarray, state, *, k: int, max_cuts: int,
+                 include_trivial: bool, pad: int, pack_limit: int) -> None:
+    """Merge, rank and store the cuts of one level's nodes, vectorized."""
+    leaves, truths, sizes, counts = state
+    m = len(batch)
+    v0 = fanin0[batch] >> 1
+    v1 = fanin1[batch] >> 1
+
+    c0 = counts[v0]
+    c1 = counts[v1]
+    C0 = int(c0.max())
+    C1 = int(c1.max())
+
+    # Candidate grid: every (cut of fanin0) x (cut of fanin1) combination.
+    l0 = leaves[v0, :C0]  # (m, C0, 3)
+    l1 = leaves[v1, :C1]
+    t0 = truths[v0, :C0]  # (m, C0)
+    t1 = truths[v1, :C1]
+
+    # Leaf ids must fit the packed int64 sort/dominance keys below; when
+    # the graph is too large for that (~beyond 1.2M variables), compact
+    # this level's leaf universe to dense local ids first.
+    lut = None
+    if pad + 1 > pack_limit:
+        lut = np.unique(
+            np.concatenate([l0.reshape(m, -1), l1.reshape(m, -1)], axis=1)
+        )
+        if lut[-1] != pad:
+            lut = np.append(lut, np.int32(pad))
+        l0 = np.searchsorted(lut, l0).astype(np.int32)
+        l1 = np.searchsorted(lut, l1).astype(np.int32)
+        pad = len(lut) - 1
+        # Guaranteed by the caller's chunk sizing (<= 6*slots leaves per
+        # node); a violation would silently wrap the int64 rank keys.
+        assert pad + 1 <= pack_limit, "compacted leaf universe too large"
+
+    valid = (
+        (_arange(C0)[None, :, None] < c0[:, None, None])
+        & (_arange(C1)[None, None, :] < c1[:, None, None])
+    )  # (m, C0, C1)
+
+    # Leaf union via one sort over the 6 padded leaf slots.  Each leaf is
+    # tagged with its provenance (bit 0: fan-in 0, bit 1: fan-in 1) in the
+    # two low key bits, so sorting keeps duplicate leaves adjacent (run
+    # length at most 2 — leaves are unique within one cut) and the tags
+    # recover, per unique leaf, which fan-in cut(s) contributed it.
+    tagged = np.concatenate(
+        [
+            np.broadcast_to((l0 * 4 + 1)[:, :, None, :], (m, C0, C1, 3)),
+            np.broadcast_to((l1 * 4 + 2)[:, None, :, :], (m, C0, C1, 3)),
+        ],
+        axis=-1,
+    )  # (m, C0, C1, 6)
+    merged = np.sort(tagged, axis=-1)
+    leaf = merged >> 2
+    tag = merged & 3
+    same = leaf[..., 1:] == leaf[..., :-1]
+    fresh = np.empty(leaf.shape, dtype=bool)
+    fresh[..., 0] = leaf[..., 0] != pad
+    fresh[..., 1:] = ~same & (leaf[..., 1:] != pad)
+    run_tags = tag.copy()
+    run_tags[..., :-1] |= np.where(same, tag[..., 1:], 0)
+    size = fresh.sum(axis=-1, dtype=np.int16)  # (m, C0, C1)
+    # Oversized unions get size k+1: infeasible, and ranked past every
+    # real cut by the size-major sort key below.
+    size = np.where(valid & (size <= k), size, np.int16(k + 1))
+
+    # Compact each union to its first three slots (slot 3 is a spill bin
+    # for duplicate/pad/overflow entries; feasible unions never reach it).
+    position = np.cumsum(fresh, axis=-1) - 1
+    slot = np.where(fresh & (position < 3), position, 3)
+    union = np.full((m, C0, C1, 4), pad, dtype=np.int32)
+    cells = m * C0 * C1
+    union.reshape(-1)[
+        (_arange(cells).reshape(m, C0, C1, 1) * 4 + slot).reshape(-1)
+    ] = leaf.reshape(-1)
+    union = union[..., :3]
+
+    # Where each fan-in cut's leaves sit inside the union, as a 3-bit
+    # position mask — the key into EXPAND_LUT.
+    bits = _SLOT_BIT[position] * fresh
+    mask0 = (bits * (run_tags & 1).astype(np.uint8)).sum(
+        axis=-1, dtype=np.uint8
+    )
+    mask1 = (bits * ((run_tags >> 1) & 1).astype(np.uint8)).sum(
+        axis=-1, dtype=np.uint8
+    )
+
+    # Truth of the AND over the union leaves: expand each fan-in function,
+    # complement negated edges (byte-wide flip, masked to the domain), AND.
+    flip0 = ((fanin0[batch] & 1) * 0xFF).astype(np.uint8)
+    flip1 = ((fanin1[batch] & 1) * 0xFF).astype(np.uint8)
+    t0e = EXPAND_LUT[mask0, np.broadcast_to(t0[:, :, None], (m, C0, C1))]
+    t1e = EXPAND_LUT[mask1, np.broadcast_to(t1[:, None, :], (m, C0, C1))]
+    truth = ((t0e ^ flip0[:, None, None]) & (t1e ^ flip1[:, None, None])
+             & _WIDTH_MASK[size])
+
+    # Flatten the candidate grid and rank per node by (size, leaves) — the
+    # legacy sort key — as a single packed int64 key per candidate.
+    grid = C0 * C1
+    cand_size = size.reshape(m, grid)
+    vp = np.int64(pad + 1)
+    u64 = union.reshape(m, grid, 3).astype(np.int64)
+    packed = (u64[..., 0] * vp + u64[..., 1]) * vp + u64[..., 2]
+    order = np.argsort(cand_size * (vp * vp * vp) + packed, axis=-1)
+
+    flat = (_arange(m)[:, None] * grid + order).reshape(-1)
+    packed = packed.reshape(-1)[flat].reshape(m, grid)
+    cand_size = cand_size.reshape(-1)[flat].reshape(m, grid)
+    cand_leaves = union.reshape(-1, 3)[flat].reshape(m, grid, 3)
+    cand_ok = cand_size <= k
+
+    # Dedup: merge paths reproducing the same leaf set produce the same
+    # root function, so keeping the first occurrence matches the legacy
+    # ``setdefault`` exactly.
+    live = cand_ok.copy()
+    if grid > 1:
+        live[:, 1:] &= packed[:, 1:] != packed[:, :-1]
+
+    # Dominance: a cut is dropped when a strictly smaller live cut is a
+    # leaf-subset.  With k ≤ 3 the only dominators are singletons and
+    # pairs, so subset testing is a few keyed membership checks.
+    dominated = _dominated(cand_leaves, cand_size, live, vp)
+    keep = live & ~dominated
+    rank = np.cumsum(keep, axis=1) - 1
+    final = keep & (rank < max_cuts)
+
+    rows, cols = np.nonzero(final)
+    dest = batch[rows]
+    dest_slot = rank[rows, cols]
+    picked = cand_leaves[rows, cols]
+    if lut is not None:
+        picked = lut[picked]
+    leaves[dest, dest_slot] = picked
+    truths[dest, dest_slot] = truth.reshape(m, grid)[rows, order[rows, cols]]
+    sizes[dest, dest_slot] = cand_size[rows, cols].astype(np.int8)
+    kept = final.sum(axis=1)
+    if include_trivial:
+        leaves[batch, kept, 0] = batch.astype(np.int32)
+        truths[batch, kept] = TRIVIAL_TRUTH
+        sizes[batch, kept] = 1
+        counts[batch] = kept + 1
+    else:
+        counts[batch] = kept
+
+
+def _member(values: np.ndarray, sorted_keys: np.ndarray) -> np.ndarray:
+    """Membership of ``values`` in a sorted 1D key array, searchsorted-style."""
+    index = np.searchsorted(sorted_keys, values)
+    np.minimum(index, len(sorted_keys) - 1, out=index)
+    return sorted_keys[index] == values
+
+
+def _dominated(cand_leaves: np.ndarray, cand_size: np.ndarray,
+               live: np.ndarray, vp: np.int64) -> np.ndarray:
+    """Which live candidates are dominated by a smaller live candidate.
+
+    Exactness note: testing against *all* live smaller cuts (not just the
+    ones the legacy loop had kept so far) is equivalent — dominance is
+    transitive, the sort is by size, and a dominating cut always precedes
+    its victim — so this reproduces the sequential filter bit for bit.
+    """
+    m, grid = cand_size.shape
+    l64 = cand_leaves.astype(np.int64)
+    node_base = (np.arange(m, dtype=np.int64) * vp)[:, None]
+    dominated = np.zeros((m, grid), dtype=bool)
+
+    single = live & (cand_size == 1)
+    if single.any():
+        bigger = live & (cand_size >= 2)
+        if bigger.any():
+            single_keys = np.sort((node_base + l64[..., 0])[single])
+            hit = _member(node_base[:, :, None] + l64, single_keys)
+            dominated |= bigger & hit.any(axis=-1)
+
+    pair = live & (cand_size == 2)
+    if pair.any():
+        triple = live & (cand_size == 3)
+        if triple.any():
+            pair_base = (node_base * vp)[:, :, None]
+            sub_pairs = l64[..., [0, 0, 1]] * vp + l64[..., [1, 2, 2]]
+            keys = np.sort(
+                (pair_base[..., 0] + l64[..., 0] * vp + l64[..., 1])[pair]
+            )
+            hit = _member(pair_base + sub_pairs, keys)
+            dominated |= triple & hit.any(axis=-1)
+    return dominated
+
+
+def classify_cut_arrays(cuts: CutArrays) -> tuple[np.ndarray, np.ndarray]:
+    """Per-slot XOR/MAJ membership masks, one fancy-indexing expression each.
+
+    Returns boolean ``(N, C)`` arrays ``(is_xor, is_maj)``: slot matches the
+    NPN class of XOR2 (2-leaf cuts) / XOR3 / MAJ3 (3-leaf cuts).  The two
+    masks are disjoint because NPN orbits partition the truth tables.
+    """
+    from repro.aig.npn import IS_MAJ3_LUT, IS_XOR2_LUT, IS_XOR3_LUT
+
+    valid = (
+        np.arange(cuts.truths.shape[1])[None, :] < cuts.counts[:, None]
+    )
+    two = valid & (cuts.sizes == 2)
+    three = valid & (cuts.sizes == 3)
+    is_xor = (two & IS_XOR2_LUT[cuts.truths]) | (three & IS_XOR3_LUT[cuts.truths])
+    is_maj = three & IS_MAJ3_LUT[cuts.truths]
+    return is_xor, is_maj
+
+
+def _collect_leaf_sets(cuts: CutArrays,
+                       mask: np.ndarray) -> dict[int, list[tuple[int, ...]]]:
+    """Group a slot mask into the legacy ``var -> [leaf tuples]`` mapping."""
+    rows, slot = np.nonzero(mask)
+    out: dict[int, list[tuple[int, ...]]] = {}
+    if rows.size == 0:
+        return out
+    picked_leaves = cuts.leaves[rows, slot].tolist()
+    picked_sizes = cuts.sizes[rows, slot].tolist()
+    for var, leaf_row, size in zip(rows.tolist(), picked_leaves, picked_sizes):
+        out.setdefault(var, []).append(tuple(leaf_row[:size]))
+    return out
+
+
+def matched_leaf_sets(
+    cuts: CutArrays,
+) -> tuple[dict[int, list[tuple[int, ...]]], dict[int, list[tuple[int, ...]]]]:
+    """XOR- and MAJ-matching cuts of every node, in legacy detection shape.
+
+    Returns ``(xor_sets, maj_sets)`` where each maps a root variable to its
+    matching leaf tuples in slot (= legacy list) order — the exact payload
+    :class:`~repro.reasoning.xor_maj.XorMajDetection` stores.
+    """
+    is_xor, is_maj = classify_cut_arrays(cuts)
+    return _collect_leaf_sets(cuts, is_xor), _collect_leaf_sets(cuts, is_maj)

@@ -322,6 +322,30 @@ class AIG:
         for var in self.and_vars():
             yield var, self._fanin0[var], self._fanin1[var]
 
+    def and_level_batches(self) -> Iterator["object"]:
+        """Yield AND variables grouped by topological level, as int64 arrays.
+
+        Levels come in ascending order and variables keep their index order
+        within a level.  This is the wavefront every vectorized bottom-up
+        sweep iterates (cut enumeration, structural hashing): a level's
+        nodes depend only on values already computed for earlier batches.
+        """
+        import numpy as np
+
+        if self.num_ands == 0:
+            return
+        level = np.asarray(self.levels(), dtype=np.int64)
+        and_vars = np.arange(1 + self._num_inputs, self.num_vars,
+                             dtype=np.int64)
+        order = np.argsort(level[and_vars], kind="stable")
+        ordered = and_vars[order]
+        ordered_level = level[ordered]
+        starts = np.flatnonzero(
+            np.r_[True, ordered_level[1:] != ordered_level[:-1]]
+        )
+        for begin, end in zip(starts, np.append(starts[1:], len(ordered))):
+            yield ordered[begin:end]
+
     def fanin_arrays(self) -> tuple["object", "object"]:
         """Fan-in literals as two NumPy int64 arrays of length ``num_vars``.
 
@@ -338,13 +362,21 @@ class AIG:
     def structural_hash(self) -> str:
         """128-bit hex digest of the circuit *structure* (not node ids).
 
-        The hash is computed bottom-up: every node's digest is derived only
-        from the digests of its fan-ins (with complement bits, commutatively
-        combined) and the final digest folds in the input count plus every
-        output literal in declaration order.  Consequences:
+        The hash is computed bottom-up: every node's 64-bit mixing value is
+        derived only from its fan-ins' values (with complement bits folded
+        in, commutatively combined) and one final ``hashlib.blake2b`` folds
+        in a version tag, the input count, and every output value in
+        declaration order.  The per-node step is level-batched NumPy
+        (splitmix64-style avalanche over whole topological levels at once)
+        instead of a per-node ``blake2b`` loop, which is what keeps it
+        usable at millions of nodes.  Consequences:
 
-        * it is deterministic across processes and runs (``hashlib.blake2b``,
-          no salting), so it can key persistent or cross-process caches;
+        * it is deterministic across processes, runs and platforms (fixed
+          mixing constants, little-endian byte fold, no salting), so it can
+          key persistent or cross-process caches; the digest carries a
+          version-tagged prefix (``aig-shash-v2``) — bump it whenever the
+          mixing scheme changes so stale persistent entries can never be
+          mistaken for current ones;
         * it is invariant under AND-node id permutation: two AIGs built from
           equivalent construction orders hash identically even though their
           variable numbering differs;
@@ -361,28 +393,45 @@ class AIG:
         """
         import hashlib
 
+        import numpy as np
+
         key = (self.num_vars, self.num_outputs)
         if self._shash is not None and self._shash[0] == key:
             return self._shash[1]
-        node: list[bytes] = [b""] * self.num_vars
-        node[0] = hashlib.blake2b(b"const0", digest_size=16).digest()
-        for index, var in enumerate(self.input_vars()):
-            node[var] = hashlib.blake2b(
-                b"pi:%d" % index, digest_size=16
-            ).digest()
-        for var in self.and_vars():
-            f0, f1 = self._fanin0[var], self._fanin1[var]
-            a = node[f0 >> 1] + (b"-" if f0 & 1 else b"+")
-            b = node[f1 >> 1] + (b"-" if f1 & 1 else b"+")
-            if a > b:
-                a, b = b, a
-            node[var] = hashlib.blake2b(
-                b"and:" + a + b, digest_size=16
-            ).digest()
+
+        def mix(x: "np.ndarray") -> "np.ndarray":
+            # splitmix64 finalizer: full-avalanche 64-bit mixing, wraps on
+            # overflow (uint64 arithmetic), endian-independent.
+            z = x + np.uint64(0x9E3779B97F4A7C15)
+            z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+            z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+            return z ^ (z >> np.uint64(31))
+
+        flip = np.uint64(0xA5A5A5A5A5A5A5A5)  # complement-edge marker
+        node = np.zeros(self.num_vars, dtype=np.uint64)
+        # 1-element array: uint64 *scalar* overflow would warn, arrays wrap.
+        node[0] = mix(np.array([0x636F6E737430], dtype=np.uint64))[0]  # "const0"
+        if self._num_inputs:
+            node[1:1 + self._num_inputs] = mix(
+                np.uint64(0x7069) + np.arange(self._num_inputs, dtype=np.uint64)
+            )
+        if self.num_ands:
+            fanin0 = np.asarray(self._fanin0, dtype=np.int64)
+            fanin1 = np.asarray(self._fanin1, dtype=np.int64)
+            for batch in self.and_level_batches():
+                f0 = fanin0[batch]
+                f1 = fanin1[batch]
+                a = node[f0 >> 1] ^ (f0 & 1).astype(np.uint64) * flip
+                b = node[f1 >> 1] ^ (f1 & 1).astype(np.uint64) * flip
+                node[batch] = mix(mix(np.maximum(a, b)) ^ np.minimum(a, b))
         digest = hashlib.blake2b(digest_size=16)
-        digest.update(b"aig:%d:%d:" % (self._num_inputs, len(self._outputs)))
-        for lit in self._outputs:
-            digest.update(node[lit >> 1] + (b"-" if lit & 1 else b"+"))
+        digest.update(
+            b"aig-shash-v2:%d:%d:" % (self._num_inputs, len(self._outputs))
+        )
+        if self._outputs:
+            out = np.asarray(self._outputs, dtype=np.int64)
+            out_mix = node[out >> 1] ^ (out & 1).astype(np.uint64) * flip
+            digest.update(out_mix.astype("<u8").tobytes())
         result = digest.hexdigest()
         self._shash = (key, result)
         return result

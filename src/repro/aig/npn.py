@@ -9,12 +9,20 @@ and the technology matcher work modulo NPN.
 Brute-force canonicalization is used: for k ≤ 4 there are at most
 ``4! * 2^4 * 2 = 768`` transforms, and the handful of distinct truth tables
 appearing in practice are cached.
+
+For the vectorized reasoner the same membership tests are also exported as
+256-entry boolean lookup tables (``IS_XOR2_LUT`` / ``IS_XOR3_LUT`` /
+``IS_MAJ3_LUT``): with k ≤ 3 every cut function is a uint8, so classifying
+every cut of every node collapses to one fancy-indexing expression over
+these tables (see :func:`repro.aig.fast_cuts.classify_cut_arrays`).
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
 from itertools import permutations
+
+import numpy as np
 
 from repro.aig.truth import truth_from_function, truth_mask
 
@@ -27,6 +35,9 @@ __all__ = [
     "XOR2_TRUTHS",
     "XOR3_TRUTHS",
     "MAJ3_TRUTHS",
+    "IS_XOR2_LUT",
+    "IS_XOR3_LUT",
+    "IS_MAJ3_LUT",
     "is_xor_truth",
     "is_maj_truth",
     "XOR2",
@@ -111,6 +122,20 @@ def all_npn_transforms(table: int, num_vars: int) -> dict[int, NpnTransform]:
 XOR2_TRUTHS = npn_class(XOR2, 2)
 XOR3_TRUTHS = npn_class(XOR3, 3)
 MAJ3_TRUTHS = npn_class(MAJ3, 3)
+
+
+def _membership_lut(truth_set: frozenset[int]) -> np.ndarray:
+    lut = np.zeros(256, dtype=bool)
+    lut[list(truth_set)] = True
+    return lut
+
+
+# The same orbits as 256-entry boolean LUTs, indexable by uint8 truth
+# arrays.  XOR2 truths occupy the low 16 entries (2-variable tables are
+# 4 bits); callers gate on cut size, so the shared 256-wide domain is safe.
+IS_XOR2_LUT = _membership_lut(XOR2_TRUTHS)
+IS_XOR3_LUT = _membership_lut(XOR3_TRUTHS)
+IS_MAJ3_LUT = _membership_lut(MAJ3_TRUTHS)
 
 
 def is_xor_truth(table: int, num_vars: int) -> bool:

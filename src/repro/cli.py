@@ -17,7 +17,9 @@ Subcommands cover the release's day-to-day flows:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 
 from repro.aig import read_aiger, write_aag, write_aig
 from repro.generators import make_multiplier
@@ -72,9 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--max-shard-bytes", type=int, default=None,
                        help="memory budget per block-diagonal shard "
                             "(default: no sharding, one monolithic pass)")
-    batch.add_argument("--postprocess-workers", type=int, default=0,
+    batch.add_argument("--postprocess-workers", type=int, default=None,
                        help="worker processes for per-netlist post-processing "
-                            "(default 0: in-process)")
+                            "(default: auto-size from cpu count and batch "
+                            "size; 0 forces in-process)")
+    batch.add_argument("--cache-dir", default=None,
+                       help="persistent result-cache directory: entries are "
+                            "preloaded before the batch and spilled back "
+                            "after, so restarts keep their hit rate")
     batch.add_argument("--compare-sequential", action="store_true",
                        help="also run per-netlist reason() and report speedup")
 
@@ -172,6 +179,31 @@ def _cmd_batch_reason(args) -> int:
     if not args.netlists:
         print("batch-reason: no netlists given", file=sys.stderr)
         return 2
+    if args.cache_dir:
+        # Fail fast on an unusable cache location — unwritable path, or a
+        # directory the service would refuse to own (foreign data): the
+        # same rule save_result_cache enforces, checked before the batch
+        # spends any time.
+        # Ownership first: a directory the service would refuse must not
+        # even be touched by the writability probe below.
+        error = ReasoningService.validate_cache_dir(args.cache_dir)
+        if error is not None:
+            print(f"batch-reason: cannot use cache dir {args.cache_dir}: "
+                  f"{error}", file=sys.stderr)
+            return 2
+        try:
+            cache_path = Path(args.cache_dir)
+            cache_path.mkdir(parents=True, exist_ok=True)
+            # mkdir(exist_ok=True) succeeds on an existing read-only dir;
+            # probe actual writability so the failure surfaces now, not
+            # after the whole batch has run.
+            probe = cache_path / f".probe.{os.getpid()}"
+            probe.touch()
+            probe.unlink()
+        except OSError as error:
+            print(f"batch-reason: cannot use cache dir {args.cache_dir}: "
+                  f"{error}", file=sys.stderr)
+            return 2
     gamora = Gamora.load(args.model)
     aigs = []
     for path in args.netlists:
@@ -186,6 +218,9 @@ def _cmd_batch_reason(args) -> int:
         max_shard_bytes=args.max_shard_bytes,
         postprocess_workers=args.postprocess_workers,
     )
+    if args.cache_dir:
+        loaded = service.load_result_cache(args.cache_dir)
+        print(f"result cache: loaded {loaded} entries from {args.cache_dir}")
     batch = service.reason_many(aigs)
     for aig, outcome in zip(aigs, batch):
         tree = outcome.tree
@@ -197,6 +232,16 @@ def _cmd_batch_reason(args) -> int:
     for name, counters in service.cache_stats().items():
         print(f"{name} cache: {counters['hits']} hits, "
               f"{counters['misses']} misses, {counters['evictions']} evictions")
+    if args.cache_dir:
+        try:
+            saved = service.save_result_cache(args.cache_dir)
+        except OSError as error:
+            # The batch itself succeeded and was reported above; only the
+            # persistence step failed (disk full, permissions changed, ...).
+            print(f"batch-reason: cannot save cache dir {args.cache_dir}: "
+                  f"{error}", file=sys.stderr)
+            return 2
+        print(f"result cache: saved {saved} new entries to {args.cache_dir}")
     if args.compare_sequential:
         with Timer() as sequential_timer:
             for aig in aigs:

@@ -148,7 +148,7 @@ class Gamora:
     def reason_many(self, circuits, root_filter: bool = False,
                     correct_lsb: bool = True, lsb_outputs: int = 4,
                     max_shard_bytes: int | None = None,
-                    postprocess_workers: int = 0):
+                    postprocess_workers: int | None = None):
         """Batched :meth:`reason` over many circuits via the serving layer.
 
         Circuits are deduplicated by structural hash, encoded through an
@@ -156,7 +156,9 @@ class Gamora:
         ``max_shard_bytes`` of estimated inference memory when set; one
         monolithic pass otherwise), inferred shard by shard, and
         post-processed per circuit — in ``postprocess_workers`` worker
-        processes overlapped with the next shard's inference when > 0.
+        processes overlapped with the next shard's inference when > 0
+        (``None``, the default, auto-sizes from ``os.cpu_count()`` and the
+        batch's circuit sizes; small batches stay in-process).
         Returns a :class:`repro.serve.BatchReasoningOutcome` — a sequence
         with one :class:`ReasoningOutcome` per input circuit (input order
         preserved, labels and extractions identical to sequential

@@ -2,15 +2,36 @@
 
 Predicted XOR/MAJ/root labels become an adder tree in three steps:
 
-1. *verify* — each flagged node's local cuts are recomputed and checked
-   against the XOR/MAJ NPN classes; nodes with no matching cut are
-   mispredictions (the paper's Fig. 3(e) "mismatch") and are dropped;
+1. *verify* — each flagged node's cuts are checked against the XOR/MAJ NPN
+   classes; nodes with no matching cut are mispredictions (the paper's
+   Fig. 3(e) "mismatch") and are dropped;
 2. *pair* — verified roots go through the same identical-input matching as
    exact reasoning;
 3. *LSB repair* — nodes near the least-significant output bits have shallow
    neighborhoods and are systematically mispredicted (paper Sec. IV-B1);
    exact reasoning re-runs on that small cone and overrides the labels,
    the "easily corrected during post-processing" step.
+
+Engines
+-------
+The verification stage has two implementations:
+
+``engine="fast"`` (default)
+    One vectorized whole-graph sweep (:mod:`repro.aig.fast_cuts`) computes
+    every node's priority cuts and classifies them against the 256-entry
+    XOR/MAJ LUTs up front; all flagged candidates are then verified by
+    dictionary lookup in one batch.  Verification matches the ground-truth
+    semantics of :func:`~repro.reasoning.xor_maj.detect_xor_maj` exactly
+    (same global priority cuts that generated the training labels).
+
+``engine="legacy"``
+    The original per-node path: :func:`~repro.aig.cuts.node_cuts` re-derives
+    a depth-bounded local cone around each flagged node.  Kept as the
+    runtime baseline (``benchmarks/bench_postprocess_fast.py``) and the
+    differential-test oracle.  On depth-limit boundary cases the local cone
+    can truncate cut lists differently from the global enumeration; real
+    adder structures span few levels, so extractions agree in practice
+    (asserted on fixtures and random circuits by ``tests/test_fast_cuts.py``).
 """
 
 from __future__ import annotations
@@ -39,6 +60,10 @@ __all__ = [
     "correct_lsb_region",
 ]
 
+# (xor_sets, maj_sets): per-root matching leaf tuples, the whole graph at once.
+MatchedSets = tuple[dict[int, list[tuple[int, ...]]],
+                    dict[int, list[tuple[int, ...]]]]
+
 
 @dataclass
 class PredictedExtraction:
@@ -60,19 +85,81 @@ def _root_flags(labels: dict[str, np.ndarray]) -> np.ndarray:
     return (root == TASK1_ROOT) | (root == TASK1_ROOT_LEAF)
 
 
+def _check_engine(engine: str, matched_sets: MatchedSets | None = None) -> None:
+    if engine not in ("fast", "legacy"):
+        raise ValueError(f"engine must be 'fast' or 'legacy', got {engine!r}")
+    if engine == "legacy" and matched_sets is not None:
+        # Precomputed sets come from the fast sweep; silently using them
+        # would turn a requested legacy-oracle run into fast-vs-fast.
+        raise ValueError("matched_sets cannot be combined with engine='legacy'")
+
+
+def _compute_matched_sets(aig: AIG, max_cuts: int,
+                          restrict_to=None) -> MatchedSets:
+    """One vectorized sweep: every node's XOR/MAJ-matching leaf sets.
+
+    ``restrict_to`` narrows the sweep to the given roots' fan-in cones
+    (bit-identical cuts there); outside nodes simply have no entries.
+    """
+    from repro.aig.fast_cuts import enumerate_cuts_arrays, matched_leaf_sets
+
+    return matched_leaf_sets(
+        enumerate_cuts_arrays(aig, k=3, max_cuts=max_cuts,
+                              restrict_to=restrict_to)
+    )
+
+
+def _node_xor_sets(aig: AIG, var: int, max_cuts: int) -> list[tuple[int, ...]]:
+    return [
+        cut.leaves
+        for cut in node_cuts(aig, var, k=3, max_cuts=max_cuts)
+        if (cut.size == 2 and is_xor_truth(cut.truth, 2))
+        or (cut.size == 3 and is_xor_truth(cut.truth, 3))
+    ]
+
+
+def _node_maj_sets(aig: AIG, var: int, max_cuts: int) -> list[tuple[int, ...]]:
+    return [
+        cut.leaves
+        for cut in node_cuts(aig, var, k=3, max_cuts=max_cuts)
+        if cut.size == 3 and is_maj_truth(cut.truth, 3)
+    ]
+
+
+def _node_xor_maj_sets(
+    aig: AIG, var: int, max_cuts: int,
+) -> tuple[list[tuple[int, ...]], list[tuple[int, ...]]]:
+    """Both classifications from a single cut enumeration (legacy LSB path)."""
+    xor_sets: list[tuple[int, ...]] = []
+    maj_sets: list[tuple[int, ...]] = []
+    for cut in node_cuts(aig, var, k=3, max_cuts=max_cuts):
+        if cut.size == 2 and is_xor_truth(cut.truth, 2):
+            xor_sets.append(cut.leaves)
+        elif cut.size == 3:
+            if is_xor_truth(cut.truth, 3):
+                xor_sets.append(cut.leaves)
+            elif is_maj_truth(cut.truth, 3):
+                maj_sets.append(cut.leaves)
+    return xor_sets, maj_sets
+
+
 def predictions_to_detection(
     aig: AIG,
     labels: dict[str, np.ndarray],
     root_filter: bool = True,
     max_cuts: int = 10,
+    engine: str = "fast",
+    matched_sets: MatchedSets | None = None,
 ) -> tuple[XorMajDetection, list[int], list[int]]:
     """Turn predicted labels into a cut-verified :class:`XorMajDetection`.
 
-    Only nodes the GNN flagged are examined, so the cut computation is
-    local — this is the payoff of learned reasoning: the expensive global
-    enumeration is replaced by inference plus a sparse verification.
-    Returns the detection and the lists of flagged-but-unverifiable nodes.
+    With the fast engine every flagged candidate is verified in one batch
+    against a single whole-graph cut sweep (pass ``matched_sets`` to reuse
+    a sweep computed by the caller); the legacy engine re-derives local
+    cuts per flagged node.  Returns the detection and the lists of
+    flagged-but-unverifiable nodes.
     """
+    _check_engine(engine, matched_sets)
     is_root = _root_flags(labels)
     xor_flags = np.asarray(labels["xor"]) == 1
     maj_flags = np.asarray(labels["maj"]) == 1
@@ -82,6 +169,19 @@ def predictions_to_detection(
     else:
         xor_candidates = np.flatnonzero(xor_flags)
         maj_candidates = np.flatnonzero(maj_flags)
+    if matched_sets is None and engine == "fast":
+        # Standalone call: sweep only the flagged candidates' fan-in cones
+        # (bit-identical cuts there) — with sparse predictions this stays
+        # proportional to the flagged cones, not the whole graph.  Callers
+        # verifying many nodes (extract_from_predictions) pass a shared
+        # whole-graph sweep instead.
+        flagged = [
+            int(var)
+            for var in np.concatenate([xor_candidates, maj_candidates])
+            if aig.is_and(int(var))
+        ]
+        matched_sets = _compute_matched_sets(aig, max_cuts,
+                                             restrict_to=flagged)
 
     detection = XorMajDetection()
     rejected_xor: list[int] = []
@@ -91,12 +191,10 @@ def predictions_to_detection(
         if not aig.is_and(var):
             rejected_xor.append(var)
             continue
-        leaf_sets = [
-            cut.leaves
-            for cut in node_cuts(aig, var, k=3, max_cuts=max_cuts)
-            if (cut.size == 2 and is_xor_truth(cut.truth, 2))
-            or (cut.size == 3 and is_xor_truth(cut.truth, 3))
-        ]
+        if matched_sets is not None:
+            leaf_sets = matched_sets[0].get(var, [])
+        else:
+            leaf_sets = _node_xor_sets(aig, var, max_cuts)
         if leaf_sets:
             detection.xor_roots[var] = leaf_sets
         else:
@@ -106,11 +204,10 @@ def predictions_to_detection(
         if not aig.is_and(var):
             rejected_maj.append(var)
             continue
-        leaf_sets = [
-            cut.leaves
-            for cut in node_cuts(aig, var, k=3, max_cuts=max_cuts)
-            if cut.size == 3 and is_maj_truth(cut.truth, 3)
-        ]
+        if matched_sets is not None:
+            leaf_sets = matched_sets[1].get(var, [])
+        else:
+            leaf_sets = _node_maj_sets(aig, var, max_cuts)
         if leaf_sets:
             detection.maj_roots[var] = leaf_sets
         else:
@@ -128,6 +225,8 @@ def correct_lsb_region(
     labels: dict[str, np.ndarray],
     num_outputs: int = 4,
     max_cuts: int = 10,
+    engine: str = "fast",
+    matched_sets: MatchedSets | None = None,
 ) -> tuple[dict[str, np.ndarray], set[int]]:
     """Overwrite labels in the low-output cone with exact reasoning.
 
@@ -135,23 +234,24 @@ def correct_lsb_region(
     (O(width) nodes in a multiplier), so exact cut matching there is cheap.
     Returns patched copies of the label arrays and the patched variables.
     """
+    _check_engine(engine, matched_sets)
     roots = [lit_var(lit) for lit in aig.outputs[:num_outputs]]
     cone = {var for var in aig.transitive_fanin(roots) if aig.is_and(var)}
     if not cone:
         return labels, set()
+    if matched_sets is None and engine == "fast":
+        # Standalone call: sweep only the LSB cone (cuts there are
+        # identical to a whole-graph sweep) — this keeps the documented
+        # "small cone, cheap repair" cost instead of touching every node.
+        matched_sets = _compute_matched_sets(aig, max_cuts, restrict_to=roots)
 
     detection = XorMajDetection()
     for var in sorted(cone):
-        xor_sets = []
-        maj_sets = []
-        for cut in node_cuts(aig, var, k=3, max_cuts=max_cuts):
-            if cut.size == 2 and is_xor_truth(cut.truth, 2):
-                xor_sets.append(cut.leaves)
-            elif cut.size == 3:
-                if is_xor_truth(cut.truth, 3):
-                    xor_sets.append(cut.leaves)
-                elif is_maj_truth(cut.truth, 3):
-                    maj_sets.append(cut.leaves)
+        if matched_sets is not None:
+            xor_sets = matched_sets[0].get(var, [])
+            maj_sets = matched_sets[1].get(var, [])
+        else:
+            xor_sets, maj_sets = _node_xor_maj_sets(aig, var, max_cuts)
         if xor_sets:
             detection.xor_roots[var] = xor_sets
         if maj_sets:
@@ -188,13 +288,25 @@ def extract_from_predictions(
     correct_lsb: bool = True,
     lsb_outputs: int = 4,
     max_cuts: int = 10,
+    engine: str = "fast",
 ) -> PredictedExtraction:
-    """Full post-processing pipeline: repair, verify, pair."""
+    """Full post-processing pipeline: repair, verify, pair.
+
+    The fast engine runs the vectorized cut sweep *once* and shares it
+    between LSB repair and candidate verification — the whole verify stage
+    is a handful of NumPy passes plus dictionary lookups.
+    """
+    _check_engine(engine)
+    matched = _compute_matched_sets(aig, max_cuts) if engine == "fast" else None
     corrected: set[int] = set()
     if correct_lsb:
-        labels, corrected = correct_lsb_region(aig, labels, lsb_outputs, max_cuts)
+        labels, corrected = correct_lsb_region(
+            aig, labels, lsb_outputs, max_cuts,
+            engine=engine, matched_sets=matched,
+        )
     detection, rejected_xor, rejected_maj = predictions_to_detection(
-        aig, labels, root_filter=root_filter, max_cuts=max_cuts
+        aig, labels, root_filter=root_filter, max_cuts=max_cuts,
+        engine=engine, matched_sets=matched,
     )
     tree = extract_adder_tree(aig, detection)
     return PredictedExtraction(

@@ -47,14 +47,28 @@ class XorMajDetection:
         return var in self.maj_roots
 
 
-def detect_xor_maj(aig: AIG, max_cuts: int = 10) -> XorMajDetection:
+def detect_xor_maj(aig: AIG, max_cuts: int = 10,
+                   engine: str = "fast") -> XorMajDetection:
     """Detect all XOR2/XOR3 and MAJ3 roots by exact cut-function matching.
 
     Every AND node's 2- and 3-feasible cuts are checked against the NPN
     classes of XOR and MAJ.  Negation-permutation-negation equivalents count
     (paper Sec. III-B2), so complemented roots (XNOR, minority) and
     complemented leaves are all detected.
+
+    ``engine="fast"`` (default) runs the vectorized array sweep of
+    :mod:`repro.aig.fast_cuts` — same cuts, same classification, same
+    result; ``engine="legacy"`` keeps the original per-node Cut-object loop
+    as the differential oracle and runtime baseline.
     """
+    if engine == "fast":
+        from repro.aig.fast_cuts import enumerate_cuts_arrays, matched_leaf_sets
+
+        arrays = enumerate_cuts_arrays(aig, k=3, max_cuts=max_cuts)
+        xor_sets, maj_sets = matched_leaf_sets(arrays)
+        return XorMajDetection(xor_roots=xor_sets, maj_roots=maj_sets)
+    if engine != "legacy":
+        raise ValueError(f"engine must be 'fast' or 'legacy', got {engine!r}")
     detection = XorMajDetection()
     all_cuts = enumerate_cuts(aig, k=3, max_cuts=max_cuts)
     for var in aig.and_vars():

@@ -14,7 +14,7 @@ caching semantics.
 from repro.serve.cache import StructuralHashCache, exact_fingerprint
 from repro.serve.service import BatchReasoningOutcome, BatchStats, ReasoningService
 from repro.serve.sharding import Shard, ShardPlan, plan_shards
-from repro.serve.workers import PostprocessPool, fork_available
+from repro.serve.workers import PostprocessPool, fork_available, resolve_workers
 
 __all__ = [
     "StructuralHashCache",
@@ -27,4 +27,5 @@ __all__ = [
     "plan_shards",
     "PostprocessPool",
     "fork_available",
+    "resolve_workers",
 ]

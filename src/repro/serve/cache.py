@@ -14,18 +14,34 @@ digest over the raw fan-in/output arrays, i.e. the concrete numbering) next
 to each entry and treats a fingerprint mismatch as a miss, recomputing and
 replacing the entry.  Lookups for a structure that was cached under a
 different node numbering are counted in ``fingerprint_conflicts``.
+
+Persistence: :meth:`StructuralHashCache.to_dir` /
+:meth:`StructuralHashCache.from_dir` spill and reload entries as
+fingerprint-named ``.npz`` files (one per entry, pickled payload wrapped in
+uint8 arrays), so a service restart keeps its steady-state hit rate.  The
+directory is trusted input — loading unpickles it; point it only at
+directories this service wrote.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
 from collections import OrderedDict
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
+from pathlib import Path
 from typing import Any
+
+import numpy as np
 
 from repro.aig.graph import AIG
 
 __all__ = ["StructuralHashCache", "exact_fingerprint"]
+
+# Orphaned spill temp files older than this are garbage from a crashed
+# writer and get swept by the next save.
+_TMP_MAX_AGE_SECONDS = 10 * 60
 
 
 def exact_fingerprint(aig: AIG) -> str:
@@ -115,6 +131,107 @@ class StructuralHashCache:
             value = builder()
             self.put(key, fingerprint, value)
         return value
+
+    def items(self) -> Iterator[tuple[Any, str, Any]]:
+        """Iterate ``(key, fingerprint, value)`` without touching counters."""
+        for key, (fingerprint, value) in self._entries.items():
+            yield key, fingerprint, value
+
+    # ------------------------------------------------------------------
+    # On-disk persistence
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _entry_name(key: Any, fingerprint: str, namespace: str = "") -> str:
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(namespace.encode("utf-8"))
+        digest.update(b"|")
+        digest.update(repr(key).encode("utf-8"))
+        digest.update(b"|")
+        digest.update(fingerprint.encode("utf-8"))
+        return digest.hexdigest() + ".npz"
+
+    def to_dir(self, directory: str | Path, namespace: str = "") -> int:
+        """Spill every entry to ``directory`` (created if missing).
+
+        Each entry becomes one fingerprint-named ``.npz`` file; files whose
+        name already exists are skipped (same name means same namespace,
+        key and fingerprint, hence the same computed payload).  Entries
+        whose value cannot be pickled are skipped silently.  ``namespace``
+        is folded into every file name: writers with different namespaces
+        (e.g. different model stamps) can never collide on — or poison —
+        each other's entries, even racing over one directory.  Returns the
+        number of files written.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        # Sweep temp files orphaned by crashed spills.  Only clearly stale
+        # ones: a fresh .tmp may be another process's in-flight write.
+        import time
+
+        for orphan in directory.glob("*.tmp"):
+            try:
+                if time.time() - orphan.stat().st_mtime > _TMP_MAX_AGE_SECONDS:
+                    orphan.unlink()
+            except OSError:
+                pass
+        written = 0
+        for key, fingerprint, value in self.items():
+            path = directory / self._entry_name(key, fingerprint, namespace)
+            if path.exists():
+                continue
+            try:
+                payload = {
+                    "key": np.frombuffer(pickle.dumps(key), dtype=np.uint8),
+                    "fingerprint": np.frombuffer(
+                        fingerprint.encode("utf-8"), dtype=np.uint8
+                    ),
+                    "namespace": np.frombuffer(
+                        namespace.encode("utf-8"), dtype=np.uint8
+                    ),
+                    "value": np.frombuffer(pickle.dumps(value), dtype=np.uint8),
+                }
+            except Exception:
+                continue
+            # Write via a per-process temp name, then rename: a crash
+            # mid-write never leaves a truncated entry, and two processes
+            # spilling the same entry concurrently cannot interleave
+            # writes (last rename wins with identical content).
+            tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp")
+            with open(tmp, "wb") as stream:
+                np.savez(stream, **payload)
+            tmp.replace(path)
+            written += 1
+        return written
+
+    def from_dir(self, directory: str | Path, namespace: str = "") -> int:
+        """Load previously spilled entries from ``directory``.
+
+        Only entries written under the same ``namespace`` are accepted
+        (each file records the namespace it was saved with — a leftover
+        entry from another writer, e.g. a different model, is skipped even
+        though it sits in the same directory).  Unreadable or corrupt
+        files are skipped; insertion respects the capacity (the LRU evicts
+        as usual).  Returns the number of entries loaded.  A missing
+        directory loads nothing.
+        """
+        directory = Path(directory)
+        if not directory.is_dir():
+            return 0
+        loaded = 0
+        for path in sorted(directory.glob("*.npz")):
+            try:
+                with np.load(path, allow_pickle=False) as archive:
+                    stored = archive["namespace"].tobytes().decode("utf-8")
+                    if stored != namespace:
+                        continue
+                    key = pickle.loads(archive["key"].tobytes())
+                    fingerprint = archive["fingerprint"].tobytes().decode("utf-8")
+                    value = pickle.loads(archive["value"].tobytes())
+            except Exception:
+                continue
+            self.put(key, fingerprint, value)
+            loaded += 1
+        return loaded
 
     def clear(self) -> None:
         """Drop all entries; counters keep accumulating."""

@@ -32,8 +32,12 @@ Scaling knobs
     (default) disables sharding.  Circuits whose standalone estimate
     exceeds the budget still run, each as its own oversize shard.
 ``postprocess_workers``
-    Worker processes for extraction.  ``0`` (default) runs in-process;
-    platforms without ``fork`` degrade to in-process automatically.
+    Worker processes for extraction.  ``None`` (default) auto-sizes per
+    batch via :func:`repro.serve.workers.resolve_workers` — one worker per
+    unique circuit capped at ``cpu_count() - 1``, collapsing to in-process
+    for single-circuit or tiny batches where fork overhead would dominate;
+    ``0`` forces in-process; platforms without ``fork`` degrade to
+    in-process automatically.
 
 Both can be set on the constructor (service-wide default) and overridden
 per :meth:`reason_many` call.
@@ -175,14 +179,34 @@ def _normalize_options(root_filter: bool, correct_lsb: bool,
     return (bool(root_filter), correct_lsb, int(lsb_outputs) if correct_lsb else 0)
 
 
+def _freeze_arrays(value) -> None:
+    """Mark every ndarray reachable through dicts/tuples/lists read-only.
+
+    Disk-loaded cache values must re-acquire the frozen-labels invariant
+    (pickling drops the WRITEABLE flag): hits share arrays, so accidental
+    mutation must raise.  Walking the structure — rather than assuming the
+    exact (labels, extraction) shape — keeps the guarantee if the cached
+    payload shape ever changes.
+    """
+    if isinstance(value, np.ndarray):
+        value.setflags(write=False)
+    elif isinstance(value, dict):
+        for item in value.values():
+            _freeze_arrays(item)
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            _freeze_arrays(item)
+
+
 class ReasoningService:
     """Sharded, parallel, block-diagonal batched reasoning over a Gamora.
 
     ``graph_cache_size`` bounds the encoded-:class:`GraphData` LRU and
     ``result_cache_size`` the full-outcome LRU; either can be 0 to disable
     that cache.  ``max_shard_bytes`` and ``postprocess_workers`` are the
-    scaling knobs described in the module docstring; both default to the
-    PR 1 behavior (one monolithic pass, in-process extraction).
+    scaling knobs described in the module docstring; sharding defaults to
+    the PR 1 behavior (one monolithic pass) and workers default to
+    per-batch auto-sizing (in-process whenever the batch is small).
     Everything upstream of :meth:`reason_many` only ever sees circuit
     objects, and everything downstream only sees per-circuit outcomes.
     """
@@ -190,12 +214,13 @@ class ReasoningService:
     def __init__(self, gamora: Gamora, graph_cache_size: int = 128,
                  result_cache_size: int = 256,
                  max_shard_bytes: int | None = None,
-                 postprocess_workers: int = 0) -> None:
+                 postprocess_workers: int | None = None) -> None:
         self.gamora = gamora
         self.graph_cache = StructuralHashCache(graph_cache_size)
         self.result_cache = StructuralHashCache(result_cache_size)
         self.max_shard_bytes = max_shard_bytes
         self.postprocess_workers = postprocess_workers
+        self._model_fp: str | None = None  # lazy model fingerprint
 
     # ------------------------------------------------------------------
     def encode(self, circuit) -> GraphData:
@@ -314,7 +339,7 @@ class ReasoningService:
     def _reason_pending(self, aigs, pending, outcomes, options, stats, *,
                         root_filter: bool, correct_lsb: bool, lsb_outputs: int,
                         max_shard_bytes: int | None,
-                        postprocess_workers: int) -> None:
+                        postprocess_workers: int | None) -> None:
         """Encode → plan → stream shards → parallel-extract → reassemble."""
         graph_hits_before = self.graph_cache.hits
         with Timer() as encode_timer:
@@ -339,7 +364,13 @@ class ReasoningService:
         per_labels: list = [None] * len(datas)
         infer_shares: list[float] = [0.0] * len(datas)
 
-        with PostprocessPool(postprocess_workers) as pool:
+        # Workload hints for auto-sizing (postprocess_workers=None): one
+        # worker per unique circuit, in-process when the batch is tiny.
+        total_ands = sum(
+            aigs[positions[0]].num_ands for positions in pending.values()
+        )
+        with PostprocessPool(postprocess_workers, num_payloads=len(pending),
+                             total_ands=total_ands) as pool:
             stats.postprocess_workers = pool.workers
             for shard in plan:
                 shard_datas = [datas[i] for i in shard.indices]
@@ -406,14 +437,163 @@ class ReasoningService:
             stats.postprocess_fallbacks = pool.fallbacks
 
     # ------------------------------------------------------------------
+    _MODEL_MARKER = "MODEL.tag"
+    # Stamped alongside the model fingerprint.  Bump the version whenever
+    # the *meaning* of cached results changes — post-processing semantics,
+    # the options key, the outcome payload — so entries computed by older
+    # code are invalidated even though the model weights are unchanged
+    # (``to_dir`` skips existing files by name, so stale entries would
+    # otherwise never be refreshed).  Any marker starting with the family
+    # prefix identifies a directory this service family owns; everything
+    # else is foreign data and is never touched.
+    _CACHE_FORMAT_FAMILY = "gamora-result-cache-"
+    _CACHE_FORMAT = _CACHE_FORMAT_FAMILY + "v1"
+
+    @classmethod
+    def validate_cache_dir(cls, directory) -> str | None:
+        """Why ``directory`` cannot be used as a result-cache dir, or None.
+
+        Single source of truth for cache-directory ownership — used by
+        :meth:`save_result_cache` before writing anything and by the CLI's
+        fail-fast precheck, so the two can never diverge.  A directory is
+        usable when it is fresh (no ``.npz`` payload) or carries a marker
+        this service family wrote; a foreign marker or unstamped ``.npz``
+        files make it untouchable.
+        """
+        from pathlib import Path
+
+        directory = Path(directory)
+        marker = directory / cls._MODEL_MARKER
+        if marker.is_file():
+            try:
+                owned = marker.read_text().startswith(cls._CACHE_FORMAT_FAMILY)
+            except OSError:
+                owned = False
+            if owned:
+                return None
+            return (f"{marker} exists but was not written by a reasoning "
+                    "service")
+        if any(directory.glob("*.npz")):
+            return (f"{directory} contains .npz files but no result-cache "
+                    "stamp")
+        return None
+
+    def _model_fingerprint(self) -> str:
+        """Digest of the bound Gamora's configuration and weights.
+
+        Cached results depend on the exact model that produced them, so
+        the on-disk cache is stamped with this fingerprint — a directory
+        written under a different (or retrained) model must never be
+        served as hits.  Memoized: a service instance's model is fixed
+        (``Gamora.fit`` drops its lazily built service on retrain).
+        """
+        if self._model_fp is not None:
+            return self._model_fp
+        import hashlib
+        import json
+
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(
+            json.dumps(self.gamora.model_config.to_dict(),
+                       sort_keys=True).encode("utf-8")
+        )
+        state = self.gamora.net.state_dict()
+        for name in sorted(state):
+            array = np.ascontiguousarray(state[name])
+            digest.update(name.encode("utf-8"))
+            digest.update(repr((array.shape, array.dtype.str)).encode("ascii"))
+            digest.update(array.tobytes())
+        self._model_fp = digest.hexdigest()
+        return self._model_fp
+
+    def save_result_cache(self, directory) -> int:
+        """Spill the result cache to ``directory`` (fingerprint-named npz).
+
+        The directory is stamped with the bound model's fingerprint; a
+        directory this service family stamped under a *different* model
+        (or cache-format version) is purged first — those entries could
+        never be valid again, and ``to_dir`` skips by file name, so stale
+        files would otherwise shadow recomputed results forever.  A
+        directory holding foreign data (``.npz`` files without our stamp,
+        or someone else's ``MODEL.tag``) is refused (``OSError``) rather
+        than cleaned out.  Returns the number of entries written;
+        already-present entries are skipped, so repeated saves are cheap
+        and incremental.
+        """
+        from pathlib import Path
+
+        directory = Path(directory)
+        error = self.validate_cache_dir(directory)
+        if error is not None:
+            raise OSError(
+                f"{error}; refusing to use it as a result-cache directory"
+            )
+        stamp = f"{self._CACHE_FORMAT}:{self._model_fingerprint()}"
+        marker = directory / self._MODEL_MARKER
+        stamped = marker.is_file() and marker.read_text().strip() == stamp
+        if not stamped:
+            # Validation above proved the directory is ours or fresh, so
+            # any .npz entries here are a stale model's/format's: purge
+            # and restamp *before* spilling, so a crash mid-spill can
+            # only leave valid entries behind.
+            for stale in directory.glob("*.npz"):
+                stale.unlink()
+            directory.mkdir(parents=True, exist_ok=True)
+            # Atomic stamp (tmp + rename, like the npz entries): a crash
+            # mid-write must not leave a truncated marker that would make
+            # the directory read as foreign — and unusable — forever.
+            import os
+
+            marker_tmp = marker.with_name(f"{marker.name}.{os.getpid()}.tmp")
+            marker_tmp.write_text(stamp + "\n")
+            marker_tmp.replace(marker)
+        # The stamp doubles as the entry namespace: entries written by a
+        # concurrent service under a different model get different file
+        # names and are ignored on load, so a racing save can never
+        # poison this model's cache with another model's results.
+        return self.result_cache.to_dir(directory, namespace=stamp)
+
+    def load_result_cache(self, directory) -> int:
+        """Reload a previously saved result cache from ``directory``.
+
+        Loads nothing (returns 0) unless the directory's model stamp
+        matches the bound Gamora — results computed by another model must
+        not be served as hits.  Re-applies the frozen-labels invariant
+        (pickling drops the read-only flag): cached label arrays are
+        shared between hits, so they must reject accidental mutation.
+        Returns the number of entries loaded.
+        """
+        from pathlib import Path
+
+        marker = Path(directory) / self._MODEL_MARKER
+        if not marker.is_file():
+            return 0
+        stamp = f"{self._CACHE_FORMAT}:{self._model_fingerprint()}"
+        if marker.read_text().strip() != stamp:
+            return 0
+        loaded = self.result_cache.from_dir(directory, namespace=stamp)
+        for _, _, value in self.result_cache.items():
+            _freeze_arrays(value)
+        # Report what actually survived insertion: the LRU bound (or a
+        # disabled cache) can retain fewer entries than the dir held.
+        return min(loaded, len(self.result_cache))
+
+    # ------------------------------------------------------------------
     def clear_result_cache(self) -> None:
-        """Drop cached outcomes (required after retraining the Gamora)."""
+        """Drop cached outcomes (required after retraining the Gamora).
+
+        Also forgets the memoized model fingerprint: after an in-place
+        retrain the next persistent-cache save/load must restamp with the
+        *new* weights, never the pre-retrain digest.
+        """
         self.result_cache.clear()
+        self._model_fp = None
 
     def clear_caches(self) -> None:
         """Drop both caches (encodings and results)."""
         self.graph_cache.clear()
         self.result_cache.clear()
+        self._model_fp = None
 
     def cache_stats(self) -> dict[str, dict[str, int]]:
         """Counter snapshots of both LRUs."""

@@ -16,6 +16,10 @@ Design constraints, in order:
   start method (the payloads are cheap to fork, expensive to re-import
   under ``spawn``), or a pool that fails to start all collapse to
   synchronous in-process execution with identical results.
+* **Adaptive sizing** — ``workers=None`` asks :func:`resolve_workers` to
+  pick a worker count from ``os.cpu_count()`` and the workload hints the
+  caller provides (payload count, total AND nodes).  Tiny workloads stay
+  in-process: forking costs more than extracting a few thousand nodes.
 * **Ordered reassembly** — :meth:`submit` returns a handle per circuit;
   callers collect handles in whatever order they need, so results always
   land back in input order regardless of worker scheduling.
@@ -34,7 +38,13 @@ from concurrent.futures import ProcessPoolExecutor
 from repro.core.postprocess import PredictedExtraction, extract_from_predictions
 from repro.utils.timing import Timer
 
-__all__ = ["PostprocessPool", "fork_available"]
+__all__ = ["PostprocessPool", "fork_available", "resolve_workers",
+           "AUTO_MIN_TOTAL_ANDS"]
+
+# Below this many total AND nodes across the batch's unique circuits,
+# auto-sizing stays in-process: the vectorized extractor clears such
+# workloads in well under the cost of forking and pickling results back.
+AUTO_MIN_TOTAL_ANDS = 20_000
 
 # Test hook: when this environment variable is set, the *worker-side* task
 # fails before extracting — raising for any value, or dying outright
@@ -48,6 +58,34 @@ FAULT_ENV = "REPRO_SERVE_POSTPROCESS_FAULT"
 def fork_available() -> bool:
     """Whether the ``fork`` start method exists on this platform."""
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_workers(workers: int | None, num_payloads: int | None = None,
+                    total_ands: int | None = None) -> int:
+    """Effective worker count for a batch.
+
+    An explicit ``workers`` wins unchanged (clamped at 0).  ``None`` means
+    auto: 0 when fork is unavailable, the machine has a single core, the
+    batch has at most one unique circuit, or the workload is tiny
+    (``total_ands < AUTO_MIN_TOTAL_ANDS``); otherwise one worker per
+    circuit, capped at ``cpu_count() - 1`` so the parent keeps a core for
+    the overlapped forward passes.
+    """
+    if workers is not None:
+        return max(0, int(workers))
+    if not fork_available():
+        return 0
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        return 0
+    if num_payloads is not None and num_payloads <= 1:
+        return 0
+    if total_ands is not None and total_ands < AUTO_MIN_TOTAL_ANDS:
+        return 0
+    limit = cpus - 1
+    if num_payloads is not None:
+        limit = min(limit, num_payloads)
+    return max(0, limit)
 
 
 def _run_extraction(payload) -> tuple[PredictedExtraction, float]:
@@ -104,13 +142,18 @@ class PostprocessPool:
     """A bounded pool of post-processing workers with in-process fallback.
 
     ``workers=0`` (or an unavailable ``fork``) makes :meth:`submit` run the
-    extraction synchronously — same results, no processes.  ``parallel``
-    reports which mode is active; ``fallbacks`` counts worker failures that
-    were recovered in-process.
+    extraction synchronously — same results, no processes.  ``workers=None``
+    auto-sizes through :func:`resolve_workers` using the optional
+    ``num_payloads`` / ``total_ands`` workload hints.  ``parallel`` reports
+    which mode is active; ``fallbacks`` counts worker failures that were
+    recovered in-process.
     """
 
-    def __init__(self, workers: int = 0) -> None:
-        self.requested_workers = max(0, int(workers))
+    def __init__(self, workers: int | None = 0,
+                 num_payloads: int | None = None,
+                 total_ands: int | None = None) -> None:
+        self.requested_workers = resolve_workers(workers, num_payloads,
+                                                 total_ands)
         self.fallbacks = 0
         self._executor = None
         if self.requested_workers > 0 and fork_available():

@@ -99,6 +99,58 @@ class TestBatchReason:
         if fork_available():
             assert "workers=2" in out
 
+    def test_batch_reason_cache_dir_round_trip(self, trained_model, tmp_path,
+                                               capsys):
+        """--cache-dir: a fresh service restart keeps its steady-state hits."""
+        netlist = tmp_path / "m4.aag"
+        assert main(["gen", str(netlist), "--width", "4"]) == 0
+        cache_dir = tmp_path / "result-cache"
+        capsys.readouterr()
+        assert main([
+            "batch-reason", str(trained_model), str(netlist),
+            "--cache-dir", str(cache_dir),
+        ]) == 0
+        first = capsys.readouterr().out
+        assert "loaded 0 entries" in first
+        assert "saved 1 new entries" in first
+        assert list(cache_dir.glob("*.npz"))
+        # Second run = new process in real life: everything served from disk.
+        assert main([
+            "batch-reason", str(trained_model), str(netlist),
+            "--cache-dir", str(cache_dir),
+        ]) == 0
+        second = capsys.readouterr().out
+        assert "loaded 1 entries" in second
+        assert "result_hits=1" in second
+        assert "saved 0 new entries" in second
+
+    def test_batch_reason_unusable_cache_dir_is_clean_error(self, trained_model,
+                                                            tmp_path, capsys):
+        netlist = tmp_path / "m4.aag"
+        assert main(["gen", str(netlist), "--width", "4"]) == 0
+        blocker = tmp_path / "a-file"
+        blocker.write_text("not a directory")
+        capsys.readouterr()
+        assert main([
+            "batch-reason", str(trained_model), str(netlist),
+            "--cache-dir", str(blocker / "sub"),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("batch-reason: cannot use cache dir")
+        assert len(err.strip().splitlines()) == 1  # one line, no traceback
+        # A dir with foreign npz data (no stamp) fails before the batch runs.
+        foreign = tmp_path / "datasets"
+        foreign.mkdir()
+        (foreign / "data.npz").write_bytes(b"user data")
+        assert main([
+            "batch-reason", str(trained_model), str(netlist),
+            "--cache-dir", str(foreign),
+        ]) == 2
+        captured = capsys.readouterr()
+        assert "no result-cache stamp" in captured.err
+        assert "FA" not in captured.out  # refused before reasoning anything
+        assert (foreign / "data.npz").read_bytes() == b"user data"
+
     def test_batch_reason_no_netlists_is_clean_error(self, trained_model,
                                                      capsys):
         assert main(["batch-reason", str(trained_model)]) == 2

@@ -17,7 +17,12 @@ from repro.core import Gamora
 from repro.generators import booth_multiplier, csa_multiplier, squarer
 from repro.learn import TrainConfig, estimate_batch_memory
 from repro.serve import PostprocessPool, ReasoningService, plan_shards
-from repro.serve.workers import FAULT_ENV
+from repro.serve.workers import (
+    AUTO_MIN_TOTAL_ANDS,
+    FAULT_ENV,
+    fork_available,
+    resolve_workers,
+)
 
 ZOO = [
     lambda: csa_multiplier(3),
@@ -278,6 +283,99 @@ class TestParallelPostprocess:
         with PostprocessPool(1) as live:
             assert live.parallel == (live.workers > 0)  # False only without fork
         assert not live.parallel  # closed on exit
+
+
+class TestPersistentResultCache:
+    def test_rejects_other_models(self, gamora, tmp_path):
+        """A cache dir written under one model must never serve another."""
+        service = ReasoningService(gamora)
+        service.reason_many([ZOO[0]()])
+        spill = tmp_path / "results"
+        assert service.save_result_cache(spill) == 1
+        # Same model: a fresh service reloads and serves hits.
+        twin = ReasoningService(gamora)
+        assert twin.load_result_cache(spill) == 1
+        assert twin.reason_many([ZOO[0]()]).stats.result_hits == 1
+        # Different weights (fresh untrained net): refuse to load...
+        other = ReasoningService(Gamora(model="shallow"))
+        assert other.load_result_cache(spill) == 0
+        assert len(other.result_cache) == 0
+        # ...and saving under the other model purges the stale entries.
+        other.reason_many([ZOO[1]()])
+        assert other.save_result_cache(spill) == 1
+        assert twin.load_result_cache(spill) == 0  # stamp changed hands
+
+    def test_never_touches_foreign_directories(self, gamora, tmp_path):
+        """Unstamped dirs holding npz files are refused, not cleaned out."""
+        service = ReasoningService(gamora)
+        service.reason_many([ZOO[0]()])
+        # Stamp-less entries (written via the raw cache API) never load...
+        bare = tmp_path / "bare"
+        service.result_cache.to_dir(bare)
+        assert ReasoningService(gamora).load_result_cache(bare) == 0
+        # ...and saving into a dir with foreign npz data refuses loudly
+        # instead of deleting files the service never wrote.
+        foreign = tmp_path / "datasets"
+        foreign.mkdir()
+        keep = foreign / "irreplaceable.npz"
+        keep.write_bytes(b"user data, not ours")
+        with pytest.raises(OSError, match="refusing"):
+            service.save_result_cache(foreign)
+        assert keep.read_bytes() == b"user data, not ours"
+        # A user's own file that merely *shares the marker name* does not
+        # make the dir service-owned: content is checked, nothing deleted.
+        noted = tmp_path / "my-notes"
+        noted.mkdir()
+        (noted / "MODEL.tag").write_text("my experiment notes\n")
+        (noted / "precious.npz").write_bytes(b"experiment data")
+        with pytest.raises(OSError, match="refusing"):
+            service.save_result_cache(noted)
+        assert (noted / "precious.npz").read_bytes() == b"experiment data"
+        assert (noted / "MODEL.tag").read_text() == "my experiment notes\n"
+        assert ReasoningService.validate_cache_dir(noted) is not None
+
+
+class TestAdaptiveWorkerSizing:
+    def test_explicit_request_wins(self):
+        assert resolve_workers(3, num_payloads=1, total_ands=1) == 3
+        assert resolve_workers(0, num_payloads=64, total_ands=10**9) == 0
+        assert resolve_workers(-2) == 0
+
+    def test_auto_stays_in_process_for_tiny_workloads(self, monkeypatch):
+        monkeypatch.setattr("repro.serve.workers.os.cpu_count", lambda: 8)
+        # Single unique circuit: nothing to overlap.
+        assert resolve_workers(None, num_payloads=1, total_ands=10**9) == 0
+        # Tiny total workload: fork overhead dominates.
+        assert resolve_workers(None, num_payloads=4, total_ands=100) == 0
+
+    def test_auto_scales_with_cpus_and_payloads(self, monkeypatch):
+        monkeypatch.setattr("repro.serve.workers.os.cpu_count", lambda: 8)
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        big = AUTO_MIN_TOTAL_ANDS
+        # One worker per circuit, capped at cpu_count - 1.
+        assert resolve_workers(None, num_payloads=3, total_ands=big) == 3
+        assert resolve_workers(None, num_payloads=64, total_ands=big) == 7
+
+    def test_auto_zero_without_fork_or_on_single_core(self, monkeypatch):
+        monkeypatch.setattr("repro.serve.workers.fork_available", lambda: False)
+        assert resolve_workers(None, num_payloads=8,
+                               total_ands=AUTO_MIN_TOTAL_ANDS) == 0
+        monkeypatch.setattr("repro.serve.workers.fork_available", lambda: True)
+        monkeypatch.setattr("repro.serve.workers.os.cpu_count", lambda: 1)
+        assert resolve_workers(None, num_payloads=8,
+                               total_ands=AUTO_MIN_TOTAL_ANDS) == 0
+
+    def test_service_default_autosizes_small_batches_in_process(self, gamora,
+                                                                sequential_memo):
+        """The zoo circuits are tiny, so the default (None) resolves to 0
+        workers — results still identical to sequential."""
+        service = ReasoningService(gamora, result_cache_size=0)
+        assert service.postprocess_workers is None
+        batch = service.reason_many([ZOO[0](), ZOO[1]()])
+        assert batch.stats.postprocess_workers == 0
+        assert_outcome_equal(batch[0], sequential_memo(0))
+        assert_outcome_equal(batch[1], sequential_memo(1))
 
     def test_results_cached_through_parallel_path(self, gamora):
         service = ReasoningService(gamora, postprocess_workers=2)

@@ -60,10 +60,12 @@ class TestStability:
         """Cross-run/cross-process stability, pinned to a golden digest.
 
         If this changes, every persistent cache keyed by the hash silently
-        invalidates — bump deliberately, never accidentally.
+        invalidates — bump deliberately, never accidentally.  Bumped once
+        with the version-tagged ``aig-shash-v2`` scheme (level-batched
+        uint64 mixing replacing the per-node blake2b loop).
         """
         assert toy_aig().structural_hash() == (
-            "054b5f2ed0a3fed8da678713b856741a"
+            "7290c043a17747e54b8e994d2615578e"
         )
 
     def test_name_independent(self):
@@ -218,6 +220,59 @@ class TestLruCache:
         assert cache.get_or_build("k", "fp", build) == "built"
         assert len(calls) == 1
         assert (cache.hits, cache.misses) == (1, 1)
+
+
+class TestPersistence:
+    def test_round_trip_preserves_entries(self, tmp_path):
+        import numpy as np
+
+        cache = StructuralHashCache(capacity=8)
+        twin = or_of_two_ands(True)
+        key = (twin.structural_hash(), ("opts", True, 4))
+        value = {"labels": np.arange(5), "note": "payload"}
+        cache.put(key, exact_fingerprint(twin), value)
+        cache.put("plain-key", "fp2", [1, 2, 3])
+        assert cache.to_dir(tmp_path / "spill") == 2
+
+        restored = StructuralHashCache(capacity=8)
+        assert restored.from_dir(tmp_path / "spill") == 2
+        got = restored.get(key, exact_fingerprint(twin))
+        assert got is not None and got["note"] == "payload"
+        assert np.array_equal(got["labels"], value["labels"])
+        assert restored.get("plain-key", "fp2") == [1, 2, 3]
+        # Fingerprint guard survives the disk round trip.
+        other = or_of_two_ands(False)
+        assert restored.get(key, exact_fingerprint(other)) is None
+
+    def test_save_is_incremental(self, tmp_path):
+        cache = StructuralHashCache(capacity=4)
+        cache.put("k1", "fp", 1)
+        spill = tmp_path / "spill"
+        assert cache.to_dir(spill) == 1
+        assert cache.to_dir(spill) == 0  # same entry: skipped by name
+        cache.put("k2", "fp", 2)
+        assert cache.to_dir(spill) == 1  # only the new entry is written
+
+    def test_corrupt_and_missing_entries_are_skipped(self, tmp_path):
+        spill = tmp_path / "spill"
+        cache = StructuralHashCache(capacity=4)
+        cache.put("good", "fp", "value")
+        assert cache.to_dir(spill) == 1
+        (spill / "garbage.npz").write_bytes(b"not an npz archive")
+        restored = StructuralHashCache(capacity=4)
+        assert restored.from_dir(spill) == 1
+        assert restored.get("good", "fp") == "value"
+        assert StructuralHashCache(4).from_dir(tmp_path / "absent") == 0
+
+    def test_load_respects_capacity(self, tmp_path):
+        cache = StructuralHashCache(capacity=8)
+        for index in range(6):
+            cache.put(f"k{index}", "fp", index)
+        spill = tmp_path / "spill"
+        assert cache.to_dir(spill) == 6
+        tiny = StructuralHashCache(capacity=2)
+        assert tiny.from_dir(spill) == 6  # all readable...
+        assert len(tiny) == 2  # ...but the LRU bound still holds
 
 
 class TestServiceCacheCounters:
