@@ -7,10 +7,11 @@ against Gamora's GNN inference, across growing CSA multiplier widths, with
 on an A100) but its *shape*: the learned path is orders of magnitude faster
 and the gap widens with size.
 
-The exact baseline now runs on the vectorized cut engine
-(:mod:`repro.aig.fast_cuts`), which is what lets the sweep reach one size
-step further (128-bit by default, 512-bit under ``GAMORA_BENCH_FULL``)
-than the per-node Cut-object era.
+The exact baseline runs on the vectorized cut engine
+(:mod:`repro.aig.fast_cuts`) *and* the array-shaped pairing engine
+(:mod:`repro.reasoning.fast_pairing`), which together push the sweep one
+size step further per PR: 128-bit → 192-bit by default, 512-bit → 768-bit
+under ``GAMORA_BENCH_FULL``, versus the per-node Cut-object era.
 """
 
 from __future__ import annotations
@@ -22,7 +23,7 @@ from repro.learn import timed_inference
 from repro.reasoning import detect_xor_maj, extract_adder_tree
 from repro.utils.timing import Timer, format_seconds
 
-WIDTHS = (16, 32, 64, 128, 256, 512) if FULL else (16, 32, 64, 128)
+WIDTHS = (16, 32, 64, 128, 256, 512, 768) if FULL else (16, 32, 64, 128, 192)
 
 
 @pytest.fixture(scope="module")

@@ -81,6 +81,29 @@ def emit(name: str, text: str) -> None:
         stream.write(text + "\n\n")
 
 
+def emit_json(name: str, record: dict) -> None:
+    """Append one run record to ``benchmarks/results/<name>.json``.
+
+    The file holds a JSON list — one entry per benchmark run — so repeated
+    runs build a trajectory artifact that CI or plots can consume directly,
+    unlike the human-oriented tables ``emit`` appends as text.
+    """
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    history: list = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except (OSError, ValueError):
+            history = []
+        if not isinstance(history, list):
+            history = []
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+
+
 def percent(value: float) -> str:
     return f"{100.0 * value:.2f}%"
 

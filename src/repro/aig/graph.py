@@ -81,6 +81,10 @@ class AIG:
         self._output_names: list[str] = []
         self._strash: dict[tuple[int, int], int] = {}
         self._levels: list[int] | None = None  # lazy cache
+        self._levels_arr = None  # lazy np.int64 twin of _levels
+        self._fanin_arrays = None  # lazy np.int64 twins of _fanin0/_fanin1
+        self._pair_groups = None  # lazy fan-in pair index (array form)
+        self._pair_index: dict | None = None  # lazy fan-in pair index (dict)
         self._shash: tuple[tuple[int, int], str] | None = None  # lazy cache
 
     # ------------------------------------------------------------------
@@ -99,7 +103,16 @@ class AIG:
         self._fanin0.append(-1)
         self._fanin1.append(-1)
         self._input_names.append(name if name is not None else f"i{self._num_inputs - 1}")
+        self._invalidate_structure_caches()
         return make_lit(var)
+
+    def _invalidate_structure_caches(self) -> None:
+        """Drop every derived-structure cache after a node is appended."""
+        self._levels = None
+        self._levels_arr = None
+        self._fanin_arrays = None
+        self._pair_groups = None
+        self._pair_index = None
 
     def add_inputs(self, count: int, prefix: str = "i") -> list[int]:
         """Create ``count`` primary inputs named ``prefix0 .. prefix{count-1}``."""
@@ -126,7 +139,7 @@ class AIG:
         self._fanin0.append(a)
         self._fanin1.append(b)
         self._strash[key] = var
-        self._levels = None
+        self._invalidate_structure_caches()
         return make_lit(var)
 
     def add_output(self, lit: int, name: str | None = None) -> None:
@@ -271,13 +284,71 @@ class AIG:
     # ------------------------------------------------------------------
     # Derived structure
     # ------------------------------------------------------------------
+    # Below this many AND nodes the per-node Python recurrence beats the
+    # wavefront sweep's per-round NumPy call overhead (a few µs per level).
+    _LEVELS_VECTOR_MIN = 4096
+
+    def levels_array(self) -> "object":
+        """Topological level of every variable as a cached int64 array.
+
+        PIs and the constant are level 0.  Computed by a vectorized Kahn
+        wavefront: AND nodes whose fan-ins are all resolved form a frontier,
+        the whole frontier's levels are assigned in one NumPy expression,
+        and resolving it releases the next frontier through a CSR fan-out
+        index — O(|V| + |E|) array work plus one Python round per wave,
+        replacing the old per-node Python recurrence on large graphs.
+        Small graphs (fewer than ``_LEVELS_VECTOR_MIN`` ANDs) keep the
+        scalar loop, which has lower constant overhead there.
+        """
+        import numpy as np
+
+        from repro.utils.arrays import ragged_gather
+
+        if self._levels_arr is not None:
+            return self._levels_arr
+        num = self.num_vars
+        first = 1 + self._num_inputs
+        n_ands = num - first
+        if n_ands < self._LEVELS_VECTOR_MIN:
+            lev = [0] * num
+            fanin0, fanin1 = self._fanin0, self._fanin1
+            for var in range(first, num):
+                lev[var] = 1 + max(lev[fanin0[var] >> 1], lev[fanin1[var] >> 1])
+            self._levels = lev
+            self._levels_arr = np.asarray(lev, dtype=np.int64)
+            return self._levels_arr
+        lev = np.zeros(num, dtype=np.int64)
+        f0v = np.asarray(self._fanin0[first:], dtype=np.int64) >> 1
+        f1v = np.asarray(self._fanin1[first:], dtype=np.int64) >> 1
+        # Number of *AND* fan-ins still unleveled, per AND node (0-based).
+        unresolved = (f0v >= first).astype(np.int64) + (f1v >= first)
+        # CSR index: AND producer -> the AND nodes that read it.
+        src = np.concatenate([f0v, f1v]) - first
+        dst = np.concatenate([np.arange(n_ands), np.arange(n_ands)])
+        keep = src >= 0
+        src, dst = src[keep], dst[keep]
+        order = np.argsort(src, kind="stable")
+        src_sorted, dst_sorted = src[order], dst[order]
+        bounds = np.searchsorted(src_sorted, np.arange(n_ands + 1))
+        frontier = np.flatnonzero(unresolved == 0)
+        while frontier.size:
+            lev[frontier + first] = 1 + np.maximum(
+                lev[f0v[frontier]], lev[f1v[frontier]]
+            )
+            flat = ragged_gather(bounds[frontier], bounds[frontier + 1])
+            if not len(flat):
+                break
+            consumers = dst_sorted[flat]
+            released = np.bincount(consumers, minlength=n_ands)
+            unresolved -= released
+            frontier = np.flatnonzero((unresolved == 0) & (released > 0))
+        self._levels_arr = lev
+        return lev
+
     def levels(self) -> list[int]:
         """Topological level of every variable (PIs and constant are 0)."""
         if self._levels is None:
-            lev = [0] * self.num_vars
-            for var in self.and_vars():
-                lev[var] = 1 + max(lev[self._fanin0[var] >> 1], lev[self._fanin1[var] >> 1])
-            self._levels = lev
+            self._levels = self.levels_array().tolist()
         return self._levels
 
     def depth(self) -> int:
@@ -289,11 +360,77 @@ class AIG:
 
     def fanout_counts(self) -> list[int]:
         """Number of AND fan-outs per variable (output edges not counted)."""
-        counts = [0] * self.num_vars
-        for var in self.and_vars():
-            counts[self._fanin0[var] >> 1] += 1
-            counts[self._fanin1[var] >> 1] += 1
-        return counts
+        import numpy as np
+
+        if self.num_ands == 0:
+            return [0] * self.num_vars
+        first = 1 + self._num_inputs
+        readers = np.concatenate([
+            np.asarray(self._fanin0[first:], dtype=np.int64) >> 1,
+            np.asarray(self._fanin1[first:], dtype=np.int64) >> 1,
+        ])
+        return np.bincount(readers, minlength=self.num_vars).tolist()
+
+    def and_pair_groups(self) -> tuple["object", "object", "object"]:
+        """AND nodes grouped by their (unordered) fan-in variable pair.
+
+        Returns ``(keys, starts, members)``: ``keys`` is a sorted int64
+        array of packed pair keys ``lo * num_vars + hi`` (``lo < hi``;
+        same-variable pairs are skipped), ``members`` holds the AND
+        variables grouped by key — ascending within each group — and
+        ``starts`` has ``len(keys) + 1`` offsets so group ``g`` is
+        ``members[starts[g]:starts[g + 1]]``.  This is the array form of
+        the half-adder carry pool; it is cached and invalidated whenever a
+        node is appended, so batch callers pay the build once per graph.
+        """
+        import numpy as np
+
+        if self._pair_groups is not None:
+            return self._pair_groups
+        first = 1 + self._num_inputs
+        if self.num_ands == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            self._pair_groups = (empty, np.zeros(1, dtype=np.int64), empty)
+            return self._pair_groups
+        f0v = np.asarray(self._fanin0[first:], dtype=np.int64) >> 1
+        f1v = np.asarray(self._fanin1[first:], dtype=np.int64) >> 1
+        lo = np.minimum(f0v, f1v)
+        hi = np.maximum(f0v, f1v)
+        keep = lo != hi
+        members = np.arange(first, self.num_vars, dtype=np.int64)[keep]
+        key = lo[keep] * np.int64(self.num_vars) + hi[keep]
+        order = np.argsort(key, kind="stable")  # stable: members stay ascending
+        sorted_key, members = key[order], members[order]
+        if len(sorted_key):
+            group_first = np.r_[True, sorted_key[1:] != sorted_key[:-1]]
+            keys = sorted_key[group_first]
+            starts = np.r_[np.flatnonzero(group_first), len(sorted_key)]
+        else:
+            keys = sorted_key
+            starts = np.zeros(1, dtype=np.int64)
+        self._pair_groups = (keys, starts.astype(np.int64), members)
+        return self._pair_groups
+
+    def and_pair_index(self) -> dict[tuple[int, int], list[int]]:
+        """Dict view of :meth:`and_pair_groups`: ``(lo, hi) -> [and vars]``.
+
+        Candidate lists are ascending.  The mapping is cached on the graph
+        (rebuilt after any node append) and shared between callers — treat
+        it as read-only.
+        """
+        if self._pair_index is not None:
+            return self._pair_index
+        keys, starts, members = self.and_pair_groups()
+        num = self.num_vars
+        member_list = members.tolist()
+        start_list = starts.tolist()
+        index: dict[tuple[int, int], list[int]] = {}
+        for g, key in enumerate(keys.tolist()):
+            index[(key // num, key % num)] = member_list[
+                start_list[g]:start_list[g + 1]
+            ]
+        self._pair_index = index
+        return index
 
     def fanouts(self) -> list[list[int]]:
         """Adjacency list: for each variable, the AND variables that read it."""
@@ -334,7 +471,7 @@ class AIG:
 
         if self.num_ands == 0:
             return
-        level = np.asarray(self.levels(), dtype=np.int64)
+        level = self.levels_array()
         and_vars = np.arange(1 + self._num_inputs, self.num_vars,
                              dtype=np.int64)
         order = np.argsort(level[and_vars], kind="stable")
@@ -350,14 +487,18 @@ class AIG:
         """Fan-in literals as two NumPy int64 arrays of length ``num_vars``.
 
         Entries for the constant node and PIs are ``-1``.  Used by the
-        vectorized simulator and the feature encoder.
+        vectorized simulator, the feature encoder, and the pairing engine.
+        Cached (the list→array conversion is a measurable per-call cost on
+        big graphs); treat the returned arrays as read-only.
         """
         import numpy as np
 
-        return (
-            np.asarray(self._fanin0, dtype=np.int64),
-            np.asarray(self._fanin1, dtype=np.int64),
-        )
+        if self._fanin_arrays is None:
+            self._fanin_arrays = (
+                np.asarray(self._fanin0, dtype=np.int64),
+                np.asarray(self._fanin1, dtype=np.int64),
+            )
+        return self._fanin_arrays
 
     def structural_hash(self) -> str:
         """128-bit hex digest of the circuit *structure* (not node ids).

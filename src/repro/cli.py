@@ -47,6 +47,10 @@ def build_parser() -> argparse.ArgumentParser:
     extract = sub.add_parser("extract", help="exact adder-tree extraction")
     extract.add_argument("netlist")
     extract.add_argument("--max-cuts", type=int, default=10)
+    extract.add_argument("--engine", choices=["fast", "legacy"],
+                         default="fast",
+                         help="vectorized sweep + array pairing (fast) or "
+                              "the per-node baseline (legacy)")
 
     train = sub.add_parser("train", help="train a Gamora model")
     train.add_argument("model_out", help="output .npz path")
@@ -84,6 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "after, so restarts keep their hit rate")
     batch.add_argument("--compare-sequential", action="store_true",
                        help="also run per-netlist reason() and report speedup")
+    batch.add_argument("--engine", choices=["fast", "legacy"], default="fast",
+                       help="post-processing engine (results cached per "
+                            "engine)")
 
     tmap = sub.add_parser("map", help="technology-map a netlist")
     tmap.add_argument("netlist")
@@ -132,8 +139,9 @@ def _cmd_extract(args) -> int:
 
     aig = read_aiger(args.netlist)
     with Timer() as timer:
-        detection = detect_xor_maj(aig, max_cuts=args.max_cuts)
-        tree = extract_adder_tree(aig, detection)
+        detection = detect_xor_maj(aig, max_cuts=args.max_cuts,
+                                   engine=args.engine)
+        tree = extract_adder_tree(aig, detection, engine=args.engine)
     report = analyze_adder_tree(aig, tree)
     print(report.summary())
     print(f"extraction took {format_seconds(timer.elapsed)}")
@@ -221,7 +229,7 @@ def _cmd_batch_reason(args) -> int:
     if args.cache_dir:
         loaded = service.load_result_cache(args.cache_dir)
         print(f"result cache: loaded {loaded} entries from {args.cache_dir}")
-    batch = service.reason_many(aigs)
+    batch = service.reason_many(aigs, engine=args.engine)
     for aig, outcome in zip(aigs, batch):
         tree = outcome.tree
         print(

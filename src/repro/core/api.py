@@ -127,8 +127,13 @@ class Gamora:
         return evaluate_model(self.net, data)
 
     def reason(self, circuit, root_filter: bool = False, correct_lsb: bool = True,
-               lsb_outputs: int = 4) -> ReasoningOutcome:
-        """Predict labels, then post-process into an adder tree."""
+               lsb_outputs: int = 4, engine: str = "fast") -> ReasoningOutcome:
+        """Predict labels, then post-process into an adder tree.
+
+        ``engine`` selects the post-processing implementation: ``"fast"``
+        (vectorized cut sweep + array-shaped pairing) or ``"legacy"`` (the
+        per-node baseline).
+        """
         aig = _as_aig(circuit)
         data = self.prepare(aig, with_labels=False)
         with Timer() as infer_timer:
@@ -137,6 +142,7 @@ class Gamora:
             extraction = extract_from_predictions(
                 aig, labels, root_filter=root_filter,
                 correct_lsb=correct_lsb, lsb_outputs=lsb_outputs,
+                engine=engine,
             )
         return ReasoningOutcome(
             extraction=extraction,
@@ -148,7 +154,8 @@ class Gamora:
     def reason_many(self, circuits, root_filter: bool = False,
                     correct_lsb: bool = True, lsb_outputs: int = 4,
                     max_shard_bytes: int | None = None,
-                    postprocess_workers: int | None = None):
+                    postprocess_workers: int | None = None,
+                    engine: str = "fast"):
         """Batched :meth:`reason` over many circuits via the serving layer.
 
         Circuits are deduplicated by structural hash, encoded through an
@@ -175,6 +182,7 @@ class Gamora:
             correct_lsb=correct_lsb, lsb_outputs=lsb_outputs,
             max_shard_bytes=max_shard_bytes,
             postprocess_workers=postprocess_workers,
+            engine=engine,
         )
 
     def predict_many(self, circuits) -> list[dict[str, np.ndarray]]:

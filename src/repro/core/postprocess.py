@@ -263,7 +263,7 @@ def correct_lsb_region(
         patched["maj"][var] = 1 if var in detection.maj_roots else 0
 
     # Re-derive boundary labels inside the cone from a local extraction.
-    local_tree = extract_adder_tree(aig, detection)
+    local_tree = extract_adder_tree(aig, detection, engine=engine)
     local_roots = local_tree.root_vars()
     local_leaves = local_tree.leaf_vars()
     for adder in local_tree.adders:
@@ -294,7 +294,11 @@ def extract_from_predictions(
 
     The fast engine runs the vectorized cut sweep *once* and shares it
     between LSB repair and candidate verification — the whole verify stage
-    is a handful of NumPy passes plus dictionary lookups.
+    is a handful of NumPy passes plus dictionary lookups — and pairs the
+    verified roots with the array-shaped engine of
+    :mod:`repro.reasoning.fast_pairing`.  The legacy engine keeps the
+    per-node cut re-derivation *and* the per-root pairing loop, as one
+    coherent baseline.
     """
     _check_engine(engine)
     matched = _compute_matched_sets(aig, max_cuts) if engine == "fast" else None
@@ -308,7 +312,7 @@ def extract_from_predictions(
         aig, labels, root_filter=root_filter, max_cuts=max_cuts,
         engine=engine, matched_sets=matched,
     )
-    tree = extract_adder_tree(aig, detection)
+    tree = extract_adder_tree(aig, detection, engine=engine)
     return PredictedExtraction(
         tree=tree,
         detection=detection,

@@ -1,7 +1,13 @@
 """Exact symbolic reasoning: the conventional baseline Gamora learns to imitate."""
 
 from repro.reasoning.xor_maj import XorMajDetection, detect_xor_maj, ha_carry_candidates
+from repro.reasoning.matching import maximum_bipartite_matching
 from repro.reasoning.structural import detect_xor_maj_structural, match_xor_operands
+from repro.reasoning.fast_pairing import (
+    PairingCandidates,
+    batched_cones,
+    fast_extract_adder_tree,
+)
 from repro.reasoning.adder_tree import (
     NUM_TASK1_CLASSES,
     TASK1_LEAF,
@@ -24,6 +30,10 @@ __all__ = [
     "XorMajDetection",
     "detect_xor_maj",
     "ha_carry_candidates",
+    "maximum_bipartite_matching",
+    "PairingCandidates",
+    "batched_cones",
+    "fast_extract_adder_tree",
     "detect_xor_maj_structural",
     "match_xor_operands",
     "NUM_TASK1_CLASSES",

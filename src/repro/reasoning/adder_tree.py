@@ -15,10 +15,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import networkx as nx
 import numpy as np
 
 from repro.aig.graph import AIG, lit_var
+from repro.reasoning.matching import maximum_bipartite_matching
 from repro.reasoning.xor_maj import (
     XorMajDetection,
     detect_xor_maj,
@@ -96,17 +96,27 @@ class AdderTree:
 
     def links(self) -> list[tuple[int, int]]:
         """Edges of the adder DAG: ``(producer_index, consumer_index)``
-        whenever one adder's output variable is another adder's leaf."""
+        whenever one adder's output variable is another adder's leaf.
+
+        Each edge appears once even when the consumer reads *both* the sum
+        and the carry of the same producer (routine in compressor trees),
+        in first-occurrence order over the consumers' leaf lists.
+        """
         producer_of: dict[int, int] = {}
         for index, adder in enumerate(self.adders):
             producer_of[adder.sum_var] = index
             producer_of[adder.carry_var] = index
-        edges = []
+        edges: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
         for index, adder in enumerate(self.adders):
             for leaf in adder.leaves:
                 source = producer_of.get(leaf)
-                if source is not None and source != index:
-                    edges.append((source, index))
+                if source is None or source == index:
+                    continue
+                edge = (source, index)
+                if edge not in seen:
+                    seen.add(edge)
+                    edges.append(edge)
         return edges
 
 
@@ -125,8 +135,19 @@ def _cone_between(aig: AIG, root: int, leaves: set[int]) -> set[int]:
     return inside
 
 
+def _sorted_leaf_sets(leaf_sets: list[tuple[int, ...]]) -> list[tuple[int, ...]]:
+    """Candidate leaf sets in canonical ``(size, leaves)`` order.
+
+    Engine-produced detections already list cuts this way (the enumerators
+    rank by size then leaves), so this is a no-op there — it exists so
+    hand-built or shuffled detections extract identically: pairing must be
+    a function of the candidate *set*, never of list or dict order.
+    """
+    return sorted(leaf_sets, key=lambda leaves: (len(leaves), leaves))
+
+
 def extract_adder_tree(aig: AIG, detection: XorMajDetection | None = None,
-                       max_cuts: int = 10) -> AdderTree:
+                       max_cuts: int = 10, engine: str = "fast") -> AdderTree:
     """Pair XOR and MAJ roots with identical inputs into FAs and HAs.
 
     Full adders are matched first (3-leaf XOR/MAJ pairs); the cone interior
@@ -134,13 +155,27 @@ def extract_adder_tree(aig: AIG, detection: XorMajDetection | None = None,
     (the shared propagate XOR, the generate AND) cannot be re-extracted as
     spurious half adders — mirroring how exact rewriting consumes matched
     slices.
+
+    ``engine="fast"`` (default) runs the array-shaped pairing of
+    :mod:`repro.reasoning.fast_pairing` — sort-based candidate grouping,
+    vectorized matching, batched cone consumption; ``engine="legacy"``
+    keeps the per-root loop below as the differential oracle and runtime
+    baseline.  Both are deterministic (candidates in sorted order, one
+    shared matching algorithm) and produce bit-identical trees.
     """
+    if engine == "fast":
+        from repro.reasoning.fast_pairing import fast_extract_adder_tree
+
+        return fast_extract_adder_tree(aig, detection=detection,
+                                       max_cuts=max_cuts)
+    if engine != "legacy":
+        raise ValueError(f"engine must be 'fast' or 'legacy', got {engine!r}")
     if detection is None:
         detection = detect_xor_maj(aig, max_cuts=max_cuts)
 
     xor_by_leaves: dict[tuple[int, ...], list[int]] = {}
-    for var, leaf_sets in detection.xor_roots.items():
-        for leaves in leaf_sets:
+    for var in sorted(detection.xor_roots):
+        for leaves in _sorted_leaf_sets(detection.xor_roots[var]):
             xor_by_leaves.setdefault(leaves, []).append(var)
 
     tree = AdderTree(detection=detection)
@@ -150,29 +185,25 @@ def extract_adder_tree(aig: AIG, detection: XorMajDetection | None = None,
     # Maximum bipartite matching between MAJ and XOR roots sharing a leaf
     # set: greedy pairing can starve a later MAJ of its only partner on
     # Booth netlists, where XOR roots admit several coincident leaf sets.
+    # The matcher's traversal order is pinned (ascending roots, sorted
+    # adjacency), so the chosen matching is independent of detection
+    # insertion order — and identical to the fast engine's.
     pair_leaves: dict[tuple[int, int], tuple[int, ...]] = {}
-    graph = nx.Graph()
-    maj_nodes = []
-    for maj_var, leaf_sets in detection.maj_roots.items():
-        maj_node = ("maj", maj_var)
-        for leaves in leaf_sets:
+    adjacency: dict[int, list[int]] = {}
+    for maj_var in sorted(detection.maj_roots):
+        for leaves in _sorted_leaf_sets(detection.maj_roots[maj_var]):
+            if len(leaves) != 3:  # an FA slice is 3-leaf by definition
+                continue
             for xor_var in xor_by_leaves.get(leaves, ()):
                 if xor_var == maj_var:
                     continue
                 pair_leaves.setdefault((maj_var, xor_var), leaves)
-                graph.add_edge(maj_node, ("xor", xor_var))
-        if maj_node in graph:
-            maj_nodes.append(maj_node)
-    matching = (
-        nx.bipartite.hopcroft_karp_matching(graph, top_nodes=maj_nodes)
-        if maj_nodes
-        else {}
-    )
-    for maj_node in sorted(maj_nodes, key=lambda node: node[1]):
-        partner = matching.get(maj_node)
-        if partner is None:
+                adjacency.setdefault(maj_var, []).append(xor_var)
+    matching = maximum_bipartite_matching(adjacency)
+    for maj_var in sorted(adjacency):
+        xor_var = matching.get(maj_var)
+        if xor_var is None:
             continue
-        maj_var, xor_var = maj_node[1], partner[1]
         if maj_var in consumed or xor_var in consumed:
             continue
         leaves = pair_leaves[(maj_var, xor_var)]
@@ -192,7 +223,7 @@ def extract_adder_tree(aig: AIG, detection: XorMajDetection | None = None,
     for xor_var in sorted(detection.xor_roots):
         if xor_var in consumed:
             continue
-        for leaves in detection.xor_roots[xor_var]:
+        for leaves in _sorted_leaf_sets(detection.xor_roots[xor_var]):
             if len(leaves) != 2:
                 continue
             pair = (leaves[0], leaves[1])
@@ -219,7 +250,8 @@ def extract_adder_tree(aig: AIG, detection: XorMajDetection | None = None,
 
 def ground_truth_labels(aig: AIG, detection: XorMajDetection | None = None,
                         tree: AdderTree | None = None,
-                        max_cuts: int = 10) -> dict[str, np.ndarray]:
+                        max_cuts: int = 10,
+                        engine: str = "fast") -> dict[str, np.ndarray]:
     """Multi-task node labels over all variables (constant + PIs + ANDs).
 
     Returns arrays of length ``aig.num_vars``:
@@ -227,11 +259,14 @@ def ground_truth_labels(aig: AIG, detection: XorMajDetection | None = None,
     * ``"root"`` — Task 1 classes (other/root/leaf/root+leaf);
     * ``"xor"`` — Task 2 binary XOR-root labels;
     * ``"maj"`` — Task 3 binary MAJ-root labels.
+
+    ``engine`` selects the detection sweep and pairing implementation
+    (``"fast"``/``"legacy"``); the labels are identical either way.
     """
     if detection is None:
-        detection = detect_xor_maj(aig, max_cuts=max_cuts)
+        detection = detect_xor_maj(aig, max_cuts=max_cuts, engine=engine)
     if tree is None:
-        tree = extract_adder_tree(aig, detection)
+        tree = extract_adder_tree(aig, detection, engine=engine)
 
     num_vars = aig.num_vars
     xor_label = np.zeros(num_vars, dtype=np.int64)

@@ -1,0 +1,555 @@
+"""Array-shaped FA/HA pairing: the vectorized twin of the extraction loops.
+
+This is to :func:`repro.reasoning.adder_tree.extract_adder_tree` what
+:mod:`repro.aig.fast_cuts` is to the Cut-object enumerator: the same
+result, produced by whole-graph array passes instead of per-root Python
+loops.  The stages map one-to-one onto the legacy extractor:
+
+* **candidate grouping** — XOR/MAJ roots and their matching leaf sets are
+  flattened into struct-of-arrays form (:class:`PairingCandidates`), either
+  straight from a :class:`~repro.aig.fast_cuts.CutArrays` sweep (label
+  generation) or from a prediction-verified
+  :class:`~repro.reasoning.xor_maj.XorMajDetection`.  Rows are canonically
+  sorted, which is what makes the whole pipeline independent of
+  dict-insertion order;
+* **FA edge construction** — MAJ and XOR3 candidates are joined on a packed
+  leaf-triple key with one ``searchsorted`` pass (sort-based grouping
+  instead of per-root dict probing), self-pairs dropped, and parallel
+  ``(maj, xor)`` edges collapsed to their lexicographically smallest shared
+  leaf set;
+* **matching** — connected components that are a single MAJ–XOR pair (the
+  overwhelming majority on adder trees) are matched wholesale in array
+  form; only the ambiguous remainder — e.g. Booth netlists where several
+  roots share coincident leaf sets — goes through the deterministic
+  :func:`~repro.reasoning.matching.maximum_bipartite_matching`.  The split
+  is exact: an isolated pair is matched by Kuhn's algorithm no matter when
+  it is visited, so pre-matching it cannot change the rest of the matching;
+* **cone consumption** — matched slices' interiors are computed for *all*
+  adders at once by a level-ordered frontier sweep over ``(node, owner)``
+  pairs (:func:`batched_cones`) instead of one ``_cone_between`` DFS per
+  root, and conflicts (a root claimed by an earlier slice's interior) are
+  detected vectorized; only when one exists — never on clean adder trees —
+  does emission fall back to the sequential consume-as-you-go order;
+* **HA selection** — the carry pool comes from the cached
+  :meth:`AIG.and_pair_groups <repro.aig.graph.AIG.and_pair_groups>` index
+  (built once per graph, not once per call), candidates interior to their
+  own XOR are filtered in one vectorized membership pass, and the remaining
+  first-free-carry scan is O(1) boolean-array probes per root.
+
+Bit-for-bit equivalence with ``engine="legacy"`` — same adders, same order,
+same ``consumed`` set — is enforced by ``tests/test_fast_pairing.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aig.graph import AIG
+from repro.reasoning.adder_tree import AdderTree, ExtractedAdder
+from repro.reasoning.matching import maximum_bipartite_matching
+from repro.reasoning.xor_maj import XorMajDetection
+from repro.utils.arrays import ragged_gather
+
+__all__ = [
+    "PairingCandidates",
+    "batched_cones",
+    "fast_extract_adder_tree",
+]
+
+
+def _flatten_leaf_sets(
+    leaf_sets_by_var: dict[int, list[tuple[int, ...]]],
+) -> tuple[tuple[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Split a ``var -> [leaf tuples]`` mapping into 2- and 3-leaf arrays.
+
+    Returns ``((vars2, leaves2_flat), (vars3, leaves3_flat))``.  The
+    iteration stays at C speed (``chain.from_iterable`` + ``fromiter``):
+    per-tuple Python work is what made dict flattening a hot spot.
+    """
+    from itertools import chain
+
+    count = len(leaf_sets_by_var)
+    sets_per_var = np.fromiter(
+        map(len, leaf_sets_by_var.values()), np.int64, count
+    )
+    num_sets = int(sets_per_var.sum())
+    if num_sets == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return (empty, empty), (empty, empty)
+    var_of_set = np.repeat(
+        np.fromiter(leaf_sets_by_var.keys(), np.int64, count), sets_per_var
+    )
+    flat_sets = list(chain.from_iterable(leaf_sets_by_var.values()))
+    widths = np.fromiter(map(len, flat_sets), np.int64, num_sets)
+    flat_leaves = np.fromiter(
+        chain.from_iterable(flat_sets), np.int64, int(widths.sum())
+    )
+    offsets = np.concatenate([[0], np.cumsum(widths)[:-1]])
+    rows2 = np.flatnonzero(widths == 2)
+    rows3 = np.flatnonzero(widths == 3)
+    return (
+        (var_of_set[rows2],
+         flat_leaves[offsets[rows2][:, None] + np.arange(2)].ravel()),
+        (var_of_set[rows3],
+         flat_leaves[offsets[rows3][:, None] + np.arange(3)].ravel()),
+    )
+
+
+def _canonical_rows(vars_: list[int] | np.ndarray,
+                    leaves: list | np.ndarray,
+                    width: int) -> tuple[np.ndarray, np.ndarray]:
+    """Sort candidate rows by ``(var, leaves)`` and drop exact duplicates.
+
+    This is the determinism anchor: whatever order the detection inserted
+    roots or listed leaf sets, candidates come out in one canonical order
+    (the order the legacy loop sees after its own sort).  ``leaves`` may be
+    a flat sequence of ``len(vars_) * width`` ints.
+    """
+    if len(vars_) == 0:
+        return (np.zeros(0, dtype=np.int64),
+                np.zeros((0, width), dtype=np.int64))
+    var_column = np.asarray(vars_, dtype=np.int64)
+    leaf_rows = np.asarray(leaves, dtype=np.int64).reshape(len(var_column),
+                                                           width)
+    order = np.lexsort(
+        tuple(leaf_rows[:, col] for col in range(width - 1, -1, -1))
+        + (var_column,)
+    )
+    var_column, leaf_rows = var_column[order], leaf_rows[order]
+    if len(var_column) > 1:
+        distinct = np.r_[
+            True,
+            (var_column[1:] != var_column[:-1])
+            | np.any(leaf_rows[1:] != leaf_rows[:-1], axis=1),
+        ]
+        var_column, leaf_rows = var_column[distinct], leaf_rows[distinct]
+    return var_column, leaf_rows
+
+
+@dataclass
+class PairingCandidates:
+    """XOR/MAJ candidate cuts flattened to arrays, in canonical row order.
+
+    ``xor2_*`` rows are the half-adder sum candidates (2-leaf XOR cuts),
+    ``xor3_*`` / ``maj_*`` the full-adder sum/carry candidates.  Every
+    array pair is sorted by ``(root var, leaves)`` with duplicates removed.
+    """
+
+    num_vars: int
+    xor2_var: np.ndarray  # (X2,) int64
+    xor2_leaves: np.ndarray  # (X2, 2) int64, ascending per row
+    xor3_var: np.ndarray  # (X3,) int64
+    xor3_leaves: np.ndarray  # (X3, 3) int64
+    maj_var: np.ndarray  # (M,) int64
+    maj_leaves: np.ndarray  # (M, 3) int64
+
+    @classmethod
+    def from_detection(cls, detection: XorMajDetection,
+                       num_vars: int) -> "PairingCandidates":
+        """Flatten a (possibly arbitrarily ordered) detection result."""
+        x2, x3_xor = _flatten_leaf_sets(detection.xor_roots)
+        _, maj3 = _flatten_leaf_sets(detection.maj_roots)
+        return cls(num_vars, *_canonical_rows(*x2, 2),
+                   *_canonical_rows(*x3_xor, 3),
+                   *_canonical_rows(*maj3, 3))
+
+    @classmethod
+    def from_cut_arrays(cls, cuts) -> "PairingCandidates":
+        """Build straight from a whole-graph cut sweep — no dicts probed."""
+        from repro.aig.fast_cuts import classify_cut_arrays
+
+        is_xor, is_maj = classify_cut_arrays(cuts)
+        xr, xs = np.nonzero(is_xor)
+        two = cuts.sizes[xr, xs] == 2
+        mr, ms = np.nonzero(is_maj)
+        return cls(
+            cuts.num_vars,
+            *_canonical_rows(xr[two], cuts.leaves[xr[two], xs[two], :2], 2),
+            *_canonical_rows(xr[~two], cuts.leaves[xr[~two], xs[~two]], 3),
+            *_canonical_rows(mr, cuts.leaves[mr, ms], 3),
+        )
+
+
+def _in_sorted(values: np.ndarray, sorted_keys: np.ndarray) -> np.ndarray:
+    """Membership of ``values`` in a sorted 1D int64 key array."""
+    if len(sorted_keys) == 0:
+        return np.zeros(len(values), dtype=bool)
+    index = np.searchsorted(sorted_keys, values)
+    np.minimum(index, len(sorted_keys) - 1, out=index)
+    return sorted_keys[index] == values
+
+
+def _sorted_unique(values: np.ndarray) -> np.ndarray:
+    """``np.unique`` for int64 keys via one sort.
+
+    NumPy's hash-based integer ``unique`` costs several ms per call at the
+    sizes the cone sweep sees; a sort plus one neighbor compare is an order
+    of magnitude cheaper and additionally guarantees sorted output.
+    """
+    if len(values) < 2:
+        return np.sort(values)
+    ordered = np.sort(values)
+    return ordered[np.r_[True, ordered[1:] != ordered[:-1]]]
+
+
+def batched_cones(aig: AIG, root_vars: np.ndarray, root_owner: np.ndarray,
+                  leaf_matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Interior ``(node, owner)`` pairs of many cones in one frontier sweep.
+
+    ``leaf_matrix`` holds one row of leaf variables per owner (one matched
+    adder / HA candidate); ``root_owner[i]`` is the row owning root
+    ``root_vars[i]``, so an owner may contribute several roots (an FA's sum
+    and carry).  The pairs returned are exactly what ``_cone_between``
+    collects: AND variables reachable from the owner's roots without
+    crossing that owner's leaves, the roots themselves included.  Instead
+    of one DFS per root, every cone advances together, one level of its own
+    depth per round: the frontier holds ``(node, owner)`` pairs packed into
+    int64 keys, a round expands the whole frontier with a handful of NumPy
+    passes, and leaf crossings are caught by comparing each child against
+    its owner's leaf row — a couple of gathers, no sorted-set probing.  The
+    round count is the deepest cone's leaf-free path length — a few levels
+    for real adder slices — while each round's cost is one pass over all
+    live cones at that depth, no matter how many adders the wavefront
+    spans.
+
+    Real cones are so shallow that revisit bookkeeping costs more than the
+    few duplicate expansions it would save, so rounds expand raw and one
+    final sort dedups the result.  Degenerate detections whose "leaves" do
+    not actually cut the cone could make raw re-expansion compound, so a
+    guard switches to exact per-round visited filtering as soon as the
+    sweep runs deep or the frontier outgrows everything collected so far —
+    capping total work at the visited-set size either way.
+    """
+    stride = np.int64(aig.num_vars)
+    first_and = 1 + aig.num_inputs
+    fanin0, fanin1 = aig.fanin_arrays()
+    f0v = fanin0 >> 1
+    f1v = fanin1 >> 1
+    leaf_matrix = np.asarray(leaf_matrix, dtype=np.int64)
+    width = leaf_matrix.shape[1]
+
+    def crosses_leaf(nodes: np.ndarray, owners: np.ndarray) -> np.ndarray:
+        hit = leaf_matrix[owners, 0] == nodes
+        for column in range(1, width):
+            hit |= leaf_matrix[owners, column] == nodes
+        return hit
+
+    root_vars = np.asarray(root_vars, dtype=np.int64)
+    root_owner = np.asarray(root_owner, dtype=np.int64)
+    admit = (root_vars >= first_and) & ~crosses_leaf(root_vars, root_owner)
+    frontier = _sorted_unique(root_owner[admit] * stride + root_vars[admit])
+    collected = [frontier]
+    total = len(frontier)
+    seen: np.ndarray | None = None
+    rounds = 0
+    while len(frontier):
+        nodes = frontier % stride
+        owners = frontier // stride
+        children = np.concatenate([f0v[nodes], f1v[nodes]])
+        child_owner = np.concatenate([owners, owners])
+        inside = children >= first_and
+        children, child_owner = children[inside], child_owner[inside]
+        keep = ~crosses_leaf(children, child_owner)
+        child_keys = child_owner[keep] * stride + children[keep]
+        rounds += 1
+        if seen is not None or rounds >= 8 or len(child_keys) > 2 * total:
+            if seen is None:
+                seen = _sorted_unique(np.concatenate(collected))
+            child_keys = _sorted_unique(child_keys)
+            child_keys = child_keys[~_in_sorted(child_keys, seen)]
+            seen = _sorted_unique(np.concatenate([seen, child_keys]))
+        collected.append(child_keys)
+        total += len(child_keys)
+        frontier = child_keys
+    pairs = _sorted_unique(np.concatenate(collected))
+    return pairs % stride, pairs // stride
+
+
+# ---------------------------------------------------------------------------
+# Full adders
+# ---------------------------------------------------------------------------
+
+def _full_adder_edges(cands: PairingCandidates
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Candidate ``(maj, xor)`` pairs with their canonical shared leaves.
+
+    One sort-based join on the packed leaf-triple key replaces the legacy
+    per-root dict probing; parallel edges (a pair sharing several leaf
+    sets) collapse to the smallest leaf triple, matching the determinized
+    legacy loop's first-in-sorted-order choice.
+    """
+    if not len(cands.maj_var) or not len(cands.xor3_var):
+        return (np.zeros(0, dtype=np.int64),) * 2 + (
+            np.zeros((0, 3), dtype=np.int64),)
+    # Packed leaf-triple keys.  A raw num_vars**3 pack overflows int64 past
+    # ~2M variables; only then compact the leaf universe to dense ids first
+    # (order-preserving, so key comparisons are unchanged).
+    lut = None
+    ml, xl = cands.maj_leaves, cands.xor3_leaves
+    if cands.num_vars ** 3 >= np.iinfo(np.int64).max:  # Python ints: exact
+        lut = _sorted_unique(np.concatenate([ml.ravel(), xl.ravel()]))
+        assert len(lut) ** 3 < np.iinfo(np.int64).max, "leaf universe too large"
+        ml = np.searchsorted(lut, ml)
+        xl = np.searchsorted(lut, xl)
+        stride = np.int64(len(lut))
+    else:
+        stride = np.int64(cands.num_vars)
+    maj_key = (ml[:, 0] * stride + ml[:, 1]) * stride + ml[:, 2]
+    xor_key = (xl[:, 0] * stride + xl[:, 1]) * stride + xl[:, 2]
+
+    xorder = np.argsort(xor_key, kind="stable")
+    xor_key_sorted = xor_key[xorder]
+    xor_var_sorted = cands.xor3_var[xorder]
+    lo = np.searchsorted(xor_key_sorted, maj_key, side="left")
+    hi = np.searchsorted(xor_key_sorted, maj_key, side="right")
+    flat = ragged_gather(lo, hi)
+    if not len(flat):
+        return (np.zeros(0, dtype=np.int64),) * 2 + (
+            np.zeros((0, 3), dtype=np.int64),)
+    maj_row = np.repeat(np.arange(len(maj_key)), hi - lo)
+    edge_maj = cands.maj_var[maj_row]
+    edge_xor = xor_var_sorted[flat]
+    edge_key = maj_key[maj_row]
+    keep = edge_maj != edge_xor
+    edge_maj, edge_xor, edge_key = edge_maj[keep], edge_xor[keep], edge_key[keep]
+
+    order = np.lexsort((edge_key, edge_xor, edge_maj))
+    edge_maj, edge_xor, edge_key = (
+        edge_maj[order], edge_xor[order], edge_key[order]
+    )
+    unique_pair = np.r_[
+        True,
+        (edge_maj[1:] != edge_maj[:-1]) | (edge_xor[1:] != edge_xor[:-1]),
+    ]
+    edge_maj, edge_xor, edge_key = (
+        edge_maj[unique_pair], edge_xor[unique_pair], edge_key[unique_pair]
+    )
+    inner = edge_key // stride
+    leaves = np.column_stack([inner // stride, inner % stride,
+                              edge_key % stride])
+    if lut is not None:
+        leaves = lut[leaves]
+    return edge_maj, edge_xor, leaves
+
+
+def _match_full_adders(edge_maj: np.ndarray, edge_xor: np.ndarray,
+                       edge_leaves: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deterministic maximum matching over the candidate edges.
+
+    Isolated pairs — a MAJ with one partner whose partner has only it —
+    are matched in one vectorized pass; every such pair belongs to the
+    maximum matching Kuhn's algorithm returns, independent of visit order,
+    because no augmenting path can route through a degree-1–degree-1 edge.
+    Only the ambiguous remainder runs the Python matcher.
+    """
+    if not len(edge_maj):
+        return edge_maj, edge_xor, edge_leaves
+    _, maj_inverse, maj_degree = np.unique(
+        edge_maj, return_inverse=True, return_counts=True
+    )
+    _, xor_inverse, xor_degree = np.unique(
+        edge_xor, return_inverse=True, return_counts=True
+    )
+    isolated = (maj_degree[maj_inverse] == 1) & (xor_degree[xor_inverse] == 1)
+    picked = [np.flatnonzero(isolated)]
+    rest = np.flatnonzero(~isolated)
+    if len(rest):
+        adjacency: dict[int, list[int]] = {}
+        for maj, xor in zip(edge_maj[rest].tolist(), edge_xor[rest].tolist()):
+            adjacency.setdefault(maj, []).append(xor)
+        matching = maximum_bipartite_matching(adjacency)
+        if matching:
+            # Edges are sorted by (maj, xor): locate each matched pair's row
+            # (and thereby its canonical leaves) by packed-key search.
+            span = np.int64(np.max(edge_xor)) + 1
+            pair_keys = edge_maj * span + edge_xor
+            wanted = np.array(sorted(matching.items()), dtype=np.int64)
+            picked.append(
+                np.searchsorted(pair_keys, wanted[:, 0] * span + wanted[:, 1])
+            )
+    rows = np.sort(np.concatenate(picked))
+    # Emission order is ascending MAJ var; rows are sorted by (maj, xor)
+    # and each maj appears in at most one match, so row order is maj order.
+    return edge_maj[rows], edge_xor[rows], edge_leaves[rows]
+
+
+def _emit_full_adders(aig: AIG, tree: AdderTree, consumed: np.ndarray,
+                      fa_maj: np.ndarray, fa_xor: np.ndarray,
+                      fa_leaves: np.ndarray) -> None:
+    """Append matched FAs in ascending-MAJ order and consume their cones.
+
+    The batched path emits every matched pair and consumes the union of
+    interiors in two array stores.  That is exactly the sequential result
+    unless some pair's root lies inside another pair's cone (or doubles as
+    the other side of a second pair) — detected vectorized; only then does
+    the legacy consume-as-you-go loop run, over interiors that were still
+    computed in one batched sweep.
+    """
+    count = len(fa_maj)
+    if count == 0:
+        return
+    owner = np.arange(count, dtype=np.int64)
+    root_vars = np.concatenate([fa_xor, fa_maj])
+    root_owner = np.concatenate([owner, owner])
+    interior_node, interior_owner = batched_cones(
+        aig, root_vars, root_owner, fa_leaves,
+    )
+    maj_list = fa_maj.tolist()
+    xor_list = fa_xor.tolist()
+    leaf_rows = fa_leaves.tolist()
+
+    roots_sorted = np.sort(root_vars)
+    conflict = bool(len(roots_sorted) > 1
+                    and np.any(roots_sorted[1:] == roots_sorted[:-1]))
+    if not conflict:
+        owner_of_root = np.full(aig.num_vars, -1, dtype=np.int64)
+        owner_of_root[root_vars] = root_owner
+        hit = owner_of_root[interior_node]
+        conflict = bool(np.any((hit >= 0) & (hit != interior_owner)))
+    if not conflict:
+        for index in range(count):
+            tree.adders.append(ExtractedAdder(
+                "FA", xor_list[index], maj_list[index],
+                tuple(leaf_rows[index]),
+            ))
+        consumed[interior_node] = True
+        consumed[root_vars] = True  # non-AND roots are outside the sweep
+        return
+
+    order = np.argsort(interior_owner, kind="stable")
+    interior_node = interior_node[order]
+    starts = np.searchsorted(interior_owner[order],
+                             np.arange(count + 1)).tolist()
+    for index in range(count):
+        maj, xor = maj_list[index], xor_list[index]
+        if consumed[maj] or consumed[xor]:
+            continue
+        tree.adders.append(ExtractedAdder(
+            "FA", xor, maj, tuple(leaf_rows[index]),
+        ))
+        consumed[interior_node[starts[index]:starts[index + 1]]] = True
+        consumed[maj] = True
+        consumed[xor] = True
+
+
+# ---------------------------------------------------------------------------
+# Half adders
+# ---------------------------------------------------------------------------
+
+def _emit_half_adders(aig: AIG, tree: AdderTree,
+                      consumed: np.ndarray,
+                      cands: PairingCandidates) -> None:
+    """Match XOR2 roots with free carry ANDs, in canonical order.
+
+    Everything order-dependent is precomputed in array form — the carry
+    pool slice per candidate (own-interior ANDs already filtered out by one
+    vectorized membership pass) and the per-candidate interior node lists —
+    so the remaining scan is the legacy selection semantics at O(1) Python
+    work per candidate: first non-consumed carry wins, its cone is consumed,
+    later candidates of the same root are skipped.
+    """
+    if not len(cands.xor2_var):
+        return
+    pool_keys, pool_starts, pool_members = aig.and_pair_groups()
+    stride = np.int64(aig.num_vars)
+    pair_key = cands.xor2_leaves[:, 0] * stride + cands.xor2_leaves[:, 1]
+    if len(pool_keys) == 0:
+        return
+    group = np.searchsorted(pool_keys, pair_key)
+    group_clipped = np.minimum(group, len(pool_keys) - 1)
+    has_pool = (group < len(pool_keys)) & (pool_keys[group_clipped] == pair_key)
+    # Roots already consumed (FA interiors and roots) can only be skipped
+    # by the selection loop; dropping them here keeps the cone sweep and
+    # carry filtering proportional to the *live* candidates.  ``consumed``
+    # only grows during selection, so the prefilter can never unskip one.
+    active = np.flatnonzero(has_pool & ~consumed[cands.xor2_var])
+    if not len(active):
+        return
+    owner = np.arange(len(active), dtype=np.int64)
+    interior_node, interior_owner = batched_cones(
+        aig, cands.xor2_var[active], owner, cands.xor2_leaves[active],
+    )
+    interior_keys = np.sort(interior_owner * stride + interior_node)
+
+    slice_start = pool_starts[group_clipped[active]]
+    slice_end = pool_starts[group_clipped[active] + 1]
+    flat = ragged_gather(slice_start, slice_end)
+    carry = pool_members[flat]
+    carry_owner = np.repeat(owner, slice_end - slice_start)
+    outside = ~_in_sorted(carry_owner * stride + carry, interior_keys)
+    carry = carry[outside]
+    carry_owner = carry_owner[outside]
+    carry_starts = np.searchsorted(
+        carry_owner, np.arange(len(active) + 1)
+    ).tolist()
+    carry_list = carry.tolist()
+
+    order = np.argsort(interior_owner, kind="stable")
+    interior_sorted = interior_node[order]
+    interior_starts = np.searchsorted(
+        interior_owner[order], np.arange(len(active) + 1)
+    ).tolist()
+
+    var_list = cands.xor2_var[active].tolist()
+    leaf_rows = cands.xor2_leaves[active].tolist()
+    for index in range(len(active)):
+        xor = var_list[index]
+        if consumed[xor]:
+            continue
+        matched_carry = -1
+        for candidate in carry_list[
+            carry_starts[index]:carry_starts[index + 1]
+        ]:
+            if not consumed[candidate]:
+                matched_carry = candidate
+                break
+        if matched_carry < 0:
+            continue
+        tree.adders.append(ExtractedAdder(
+            "HA", xor, matched_carry, tuple(leaf_rows[index]),
+        ))
+        consumed[
+            interior_sorted[interior_starts[index]:interior_starts[index + 1]]
+        ] = True
+        consumed[xor] = True
+        consumed[matched_carry] = True
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def fast_extract_adder_tree(aig: AIG,
+                            detection: XorMajDetection | None = None,
+                            max_cuts: int = 10) -> AdderTree:
+    """Array-shaped equivalent of ``extract_adder_tree(engine="legacy")``.
+
+    With ``detection=None`` the whole pipeline — cut sweep, classification,
+    pairing — shares one :class:`~repro.aig.fast_cuts.CutArrays` pass and
+    the candidate arrays are built straight from the classification masks;
+    an explicit detection (the prediction post-processing path) is
+    flattened instead.  Either way the result is bit-identical to the
+    legacy loop: same adders in the same order, same ``consumed`` set.
+    """
+    if detection is None:
+        from repro.aig.fast_cuts import enumerate_cuts_arrays, matched_leaf_sets
+
+        arrays = enumerate_cuts_arrays(aig, k=3, max_cuts=max_cuts)
+        xor_sets, maj_sets = matched_leaf_sets(arrays)
+        detection = XorMajDetection(xor_roots=xor_sets, maj_roots=maj_sets)
+        cands = PairingCandidates.from_cut_arrays(arrays)
+    else:
+        cands = PairingCandidates.from_detection(detection, aig.num_vars)
+
+    tree = AdderTree(detection=detection)
+    consumed = np.zeros(aig.num_vars, dtype=bool)
+    _emit_full_adders(
+        aig, tree, consumed,
+        *_match_full_adders(*_full_adder_edges(cands)),
+    )
+    _emit_half_adders(aig, tree, consumed, cands)
+    tree.consumed = set(np.flatnonzero(consumed).tolist())
+    return tree

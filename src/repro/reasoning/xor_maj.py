@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.aig.cuts import enumerate_cuts
-from repro.aig.graph import AIG, lit_neg, lit_var
+from repro.aig.graph import AIG
 from repro.aig.npn import is_maj_truth, is_xor_truth
 
 __all__ = ["XorMajDetection", "detect_xor_maj", "ha_carry_candidates"]
@@ -99,12 +99,11 @@ def ha_carry_candidates(aig: AIG) -> dict[tuple[int, int], list[int]]:
     algebraic half-adder identity ``sum + 2·carry = l0 + l1`` for suitable
     literals, so every two-distinct-variable AND is a candidate; the
     extractor filters out the ones interior to the paired XOR structure.
+
+    The pool is pure graph structure, so it is built once per AIG and
+    cached there (:meth:`~repro.aig.graph.AIG.and_pair_index`, invalidated
+    on node append) — callers that loop over prediction batches no longer
+    rebuild the full AND-pair mapping on every extraction.  Treat the
+    returned mapping as read-only; candidate lists are ascending.
     """
-    candidates: dict[tuple[int, int], list[int]] = {}
-    for var, f0, f1 in aig.iter_ands():
-        v0, v1 = lit_var(f0), lit_var(f1)
-        if v0 == v1:
-            continue
-        key = (v0, v1) if v0 < v1 else (v1, v0)
-        candidates.setdefault(key, []).append(var)
-    return candidates
+    return aig.and_pair_index()

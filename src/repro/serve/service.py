@@ -169,14 +169,20 @@ def _circuit_key(aig: AIG) -> tuple[str, str]:
 
 
 def _normalize_options(root_filter: bool, correct_lsb: bool,
-                       lsb_outputs: int) -> tuple[bool, bool, int]:
+                       lsb_outputs: int,
+                       engine: str = "fast") -> tuple[bool, bool, int, str]:
     """Canonical result-cache options key.
 
     ``lsb_outputs`` only matters when LSB correction is on; collapsing it
     to 0 otherwise lets semantically identical calls share a cache entry.
+    ``engine`` is part of the key: fast and legacy extractions are
+    bit-identical on the pairing stage, but legacy cut *verification*
+    re-derives depth-bounded local cones that can diverge from the global
+    sweep on boundary cases, so the two must not share entries.
     """
     correct_lsb = bool(correct_lsb)
-    return (bool(root_filter), correct_lsb, int(lsb_outputs) if correct_lsb else 0)
+    return (bool(root_filter), correct_lsb,
+            int(lsb_outputs) if correct_lsb else 0, str(engine))
 
 
 def _freeze_arrays(value) -> None:
@@ -289,14 +295,18 @@ class ReasoningService:
     def reason_many(self, circuits, root_filter: bool = False,
                     correct_lsb: bool = True, lsb_outputs: int = 4,
                     max_shard_bytes=_UNSET,
-                    postprocess_workers=_UNSET) -> BatchReasoningOutcome:
+                    postprocess_workers=_UNSET,
+                    engine: str = "fast") -> BatchReasoningOutcome:
         """Batched equivalent of calling :meth:`Gamora.reason` per circuit.
 
         Returns one outcome per input circuit (input order preserved) with
         labels and extractions identical to the sequential path; see the
         module docstring for the pipeline, the scaling knobs, and the
         caching semantics.  ``max_shard_bytes`` and ``postprocess_workers``
-        override the service-wide settings for this call only.
+        override the service-wide settings for this call only; ``engine``
+        selects the post-processing implementation (``"fast"`` — the
+        vectorized cut sweep + array-shaped pairing — or ``"legacy"``, the
+        per-node baseline; results are cached per engine).
         """
         if max_shard_bytes is _UNSET:
             max_shard_bytes = self.max_shard_bytes
@@ -307,7 +317,8 @@ class ReasoningService:
         with Timer() as total_timer:
             aigs = [_as_aig(c) for c in circuits]
             stats.batch_size = len(aigs)
-            options = _normalize_options(root_filter, correct_lsb, lsb_outputs)
+            options = _normalize_options(root_filter, correct_lsb,
+                                         lsb_outputs, engine)
             outcomes: list[ReasoningOutcome | None] = [None] * len(aigs)
             # First occurrence index of each still-uncached structure.
             pending: dict[tuple[str, str], list[int]] = {}
@@ -329,7 +340,7 @@ class ReasoningService:
                     aigs, pending, outcomes, options, stats,
                     root_filter=root_filter, correct_lsb=correct_lsb,
                     lsb_outputs=lsb_outputs, max_shard_bytes=max_shard_bytes,
-                    postprocess_workers=postprocess_workers,
+                    postprocess_workers=postprocess_workers, engine=engine,
                 )
 
             stats.unique_circuits = len(pending)
@@ -339,7 +350,8 @@ class ReasoningService:
     def _reason_pending(self, aigs, pending, outcomes, options, stats, *,
                         root_filter: bool, correct_lsb: bool, lsb_outputs: int,
                         max_shard_bytes: int | None,
-                        postprocess_workers: int | None) -> None:
+                        postprocess_workers: int | None,
+                        engine: str = "fast") -> None:
         """Encode → plan → stream shards → parallel-extract → reassemble."""
         graph_hits_before = self.graph_cache.hits
         with Timer() as encode_timer:
@@ -397,7 +409,7 @@ class ReasoningService:
                     infer_shares[data_index] = share
                     handles[data_index] = pool.submit(
                         aigs[pending[keys[data_index]][0]], labels,
-                        root_filter, correct_lsb, lsb_outputs,
+                        root_filter, correct_lsb, lsb_outputs, engine,
                     )
 
             store_results = self.result_cache.capacity > 0
@@ -447,7 +459,8 @@ class ReasoningService:
     # prefix identifies a directory this service family owns; everything
     # else is foreign data and is never touched.
     _CACHE_FORMAT_FAMILY = "gamora-result-cache-"
-    _CACHE_FORMAT = _CACHE_FORMAT_FAMILY + "v1"
+    # v2: the options key gained the post-processing engine field.
+    _CACHE_FORMAT = _CACHE_FORMAT_FAMILY + "v2"
 
     @classmethod
     def validate_cache_dir(cls, directory) -> str | None:

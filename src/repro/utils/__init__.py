@@ -1,6 +1,7 @@
-"""Small shared utilities: timing, RNG seeding, and formatting helpers."""
+"""Small shared utilities: timing, RNG seeding, array and formatting helpers."""
 
 from repro.utils.timing import Timer, format_seconds
 from repro.utils.rng import seeded_rng
+from repro.utils.arrays import ragged_gather
 
-__all__ = ["Timer", "format_seconds", "seeded_rng"]
+__all__ = ["Timer", "format_seconds", "seeded_rng", "ragged_gather"]

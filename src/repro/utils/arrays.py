@@ -1,0 +1,24 @@
+"""Shared NumPy index-arithmetic helpers for the vectorized sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ragged_gather"]
+
+
+def ragged_gather(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Flat indices of the ``[starts[i], ends[i])`` slices, concatenated.
+
+    The standard CSR expansion: given per-row slice bounds into one flat
+    array, produce the gather index that visits every row's slice in row
+    order.  Used by the level wavefront (consumer expansion) and the
+    pairing engine (cut-group and carry-pool expansion) — one home so the
+    subtle ``repeat``/``cumsum`` arithmetic exists exactly once.
+    """
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    return np.repeat(starts - offsets[:-1], counts) + np.arange(total)

@@ -198,3 +198,76 @@ class TestStructure:
         a = aig.add_input()
         with pytest.raises(ValueError):
             aig.fanin0(lit_var(a))
+
+
+class TestVectorizedStructure:
+    """The wavefront ``levels()`` / bincount ``fanout_counts()`` paths must
+    agree with the scalar per-node recurrence on every graph shape."""
+
+    @staticmethod
+    def _reference_levels(aig: AIG) -> list[int]:
+        lev = [0] * aig.num_vars
+        for var in aig.and_vars():
+            lev[var] = 1 + max(lev[aig.fanin0(var) >> 1],
+                               lev[aig.fanin1(var) >> 1])
+        return lev
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_wavefront_levels_match_scalar(self, monkeypatch, seed):
+        from repro.utils.random_circuits import random_aig
+
+        monkeypatch.setattr(AIG, "_LEVELS_VECTOR_MIN", 0)  # force vector path
+        aig = random_aig(num_inputs=5, num_ands=40, num_outputs=3, seed=seed)
+        assert aig.levels() == self._reference_levels(aig)
+        assert aig.levels_array().tolist() == aig.levels()
+
+    def test_wavefront_levels_deep_chain(self, monkeypatch):
+        monkeypatch.setattr(AIG, "_LEVELS_VECTOR_MIN", 0)
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        lit = a
+        for _ in range(50):
+            lit = aig.add_and(lit, b)
+            b = lit_not(b)  # avoid strash collapsing the chain
+        aig.add_output(lit)
+        assert aig.levels() == self._reference_levels(aig)
+        assert aig.depth() == 50
+
+    def test_levels_cache_invalidated_on_append(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        x = aig.add_and(a, b)
+        assert aig.levels()[lit_var(x)] == 1
+        y = aig.add_and(x, lit_not(b))
+        assert aig.levels()[lit_var(y)] == 2
+
+    def test_fanout_counts_empty_and_reference(self, csa4):
+        assert AIG().fanout_counts() == [0]
+        aig = csa4.aig
+        reference = [0] * aig.num_vars
+        for var in aig.and_vars():
+            reference[aig.fanin0(var) >> 1] += 1
+            reference[aig.fanin1(var) >> 1] += 1
+        assert aig.fanout_counts() == reference
+
+    def test_and_pair_groups_shape(self, csa4):
+        aig = csa4.aig
+        keys, starts, members = aig.and_pair_groups()
+        assert len(starts) == len(keys) + 1
+        assert starts[0] == 0 and starts[-1] == len(members)
+        index = aig.and_pair_index()
+        assert sum(len(vs) for vs in index.values()) == len(members)
+        # Groups ascend and members ascend within each group.
+        for g in range(len(keys)):
+            group = members[starts[g]:starts[g + 1]].tolist()
+            assert group == sorted(group)
+
+    def test_and_pair_groups_invalidated_on_append(self):
+        aig = AIG()
+        a, b, c = aig.add_inputs(3)
+        aig.add_and(a, b)
+        keys_before, _, _ = aig.and_pair_groups()
+        aig.add_and(b, c)
+        keys_after, _, members_after = aig.and_pair_groups()
+        assert len(keys_after) == len(keys_before) + 1
+        assert len(members_after) == 2
