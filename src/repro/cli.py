@@ -83,7 +83,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: auto-size from cpu count and batch "
                             "size; 0 forces in-process)")
     batch.add_argument("--cache-dir", default=None,
-                       help="persistent result-cache directory: entries are "
+                       help="persistent cache directory: reasoning results "
+                            "(and encoded graphs, under graphs/) are "
                             "preloaded before the batch and spilled back "
                             "after, so restarts keep their hit rate")
     batch.add_argument("--compare-sequential", action="store_true",
@@ -139,10 +140,16 @@ def _cmd_extract(args) -> int:
 
     aig = read_aiger(args.netlist)
     with Timer() as timer:
-        detection = detect_xor_maj(aig, max_cuts=args.max_cuts,
-                                   engine=args.engine)
-        tree = extract_adder_tree(aig, detection, engine=args.engine)
-    report = analyze_adder_tree(aig, tree)
+        if args.engine == "fast":
+            # Dict-free path: one shared sweep feeds the array pairing and
+            # the word-level report directly.
+            tree = extract_adder_tree(aig, max_cuts=args.max_cuts,
+                                      engine="fast")
+        else:
+            detection = detect_xor_maj(aig, max_cuts=args.max_cuts,
+                                       engine=args.engine)
+            tree = extract_adder_tree(aig, detection, engine=args.engine)
+    report = analyze_adder_tree(aig, tree, engine=args.engine)
     print(report.summary())
     print(f"extraction took {format_seconds(timer.elapsed)}")
     return 0
@@ -195,6 +202,10 @@ def _cmd_batch_reason(args) -> int:
         # Ownership first: a directory the service would refuse must not
         # even be touched by the writability probe below.
         error = ReasoningService.validate_cache_dir(args.cache_dir)
+        if error is None:
+            error = ReasoningService.validate_graph_cache_dir(
+                Path(args.cache_dir) / "graphs"
+            )
         if error is not None:
             print(f"batch-reason: cannot use cache dir {args.cache_dir}: "
                   f"{error}", file=sys.stderr)
@@ -229,6 +240,8 @@ def _cmd_batch_reason(args) -> int:
     if args.cache_dir:
         loaded = service.load_result_cache(args.cache_dir)
         print(f"result cache: loaded {loaded} entries from {args.cache_dir}")
+        graphs_loaded = service.load_graph_cache(Path(args.cache_dir) / "graphs")
+        print(f"graph cache: loaded {graphs_loaded} entries")
     batch = service.reason_many(aigs, engine=args.engine)
     for aig, outcome in zip(aigs, batch):
         tree = outcome.tree
@@ -243,6 +256,9 @@ def _cmd_batch_reason(args) -> int:
     if args.cache_dir:
         try:
             saved = service.save_result_cache(args.cache_dir)
+            graphs_saved = service.save_graph_cache(
+                Path(args.cache_dir) / "graphs"
+            )
         except OSError as error:
             # The batch itself succeeded and was reported above; only the
             # persistence step failed (disk full, permissions changed, ...).
@@ -250,6 +266,7 @@ def _cmd_batch_reason(args) -> int:
                   f"{error}", file=sys.stderr)
             return 2
         print(f"result cache: saved {saved} new entries to {args.cache_dir}")
+        print(f"graph cache: saved {graphs_saved} new entries")
     if args.compare_sequential:
         with Timer() as sequential_timer:
             for aig in aigs:

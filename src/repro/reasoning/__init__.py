@@ -7,6 +7,7 @@ from repro.reasoning.fast_pairing import (
     PairingCandidates,
     batched_cones,
     fast_extract_adder_tree,
+    pair_candidates,
 )
 from repro.reasoning.adder_tree import (
     NUM_TASK1_CLASSES,
@@ -15,6 +16,7 @@ from repro.reasoning.adder_tree import (
     TASK1_ROOT,
     TASK1_ROOT_LEAF,
     AdderTree,
+    AdderTreeArrays,
     ExtractedAdder,
     extract_adder_tree,
     ground_truth_labels,
@@ -34,6 +36,7 @@ __all__ = [
     "PairingCandidates",
     "batched_cones",
     "fast_extract_adder_tree",
+    "pair_candidates",
     "detect_xor_maj_structural",
     "match_xor_operands",
     "NUM_TASK1_CLASSES",
@@ -42,6 +45,7 @@ __all__ = [
     "TASK1_ROOT",
     "TASK1_ROOT_LEAF",
     "AdderTree",
+    "AdderTreeArrays",
     "ExtractedAdder",
     "extract_adder_tree",
     "ground_truth_labels",

@@ -8,10 +8,14 @@ loops.  The stages map one-to-one onto the legacy extractor:
 * **candidate grouping** — XOR/MAJ roots and their matching leaf sets are
   flattened into struct-of-arrays form (:class:`PairingCandidates`), either
   straight from a :class:`~repro.aig.fast_cuts.CutArrays` sweep (label
-  generation) or from a prediction-verified
-  :class:`~repro.reasoning.xor_maj.XorMajDetection`.  Rows are canonically
-  sorted, which is what makes the whole pipeline independent of
-  dict-insertion order;
+  generation and the array-native serving path, which also filters rows
+  with :meth:`PairingCandidates.select_roots` /
+  :meth:`~PairingCandidates.restrict_roots` instead of rebuilding dicts)
+  or from a prediction-verified
+  :class:`~repro.reasoning.xor_maj.XorMajDetection`
+  (:meth:`~PairingCandidates.to_detection` is the inverse adapter).  Rows
+  are canonically sorted, which is what makes the whole pipeline
+  independent of dict-insertion order;
 * **FA edge construction** — MAJ and XOR3 candidates are joined on a packed
   leaf-triple key with one ``searchsorted`` pass (sort-based grouping
   instead of per-root dict probing), self-pairs dropped, and parallel
@@ -36,8 +40,12 @@ loops.  The stages map one-to-one onto the legacy extractor:
   own XOR are filtered in one vectorized membership pass, and the remaining
   first-free-carry scan is O(1) boolean-array probes per root.
 
-Bit-for-bit equivalence with ``engine="legacy"`` — same adders, same order,
-same ``consumed`` set — is enforced by ``tests/test_fast_pairing.py``.
+Matched slices are emitted straight into the tree's struct-of-arrays core
+(:class:`~repro.reasoning.adder_tree.AdderTreeArrays`) — the
+``ExtractedAdder`` objects, the ``consumed`` set and the detection dicts
+exist only as lazy views on the result.  Bit-for-bit equivalence with
+``engine="legacy"`` — same adders, same order, same ``consumed`` set — is
+enforced by ``tests/test_fast_pairing.py``.
 """
 
 from __future__ import annotations
@@ -47,16 +55,27 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.aig.graph import AIG
-from repro.reasoning.adder_tree import AdderTree, ExtractedAdder
+from repro.reasoning.adder_tree import (
+    KIND_FA,
+    KIND_HA,
+    AdderTree,
+    AdderTreeArrays,
+)
 from repro.reasoning.matching import maximum_bipartite_matching
 from repro.reasoning.xor_maj import XorMajDetection
-from repro.utils.arrays import ragged_gather
+from repro.utils.arrays import in_sorted, ragged_gather, sorted_unique
 
 __all__ = [
     "PairingCandidates",
     "batched_cones",
     "fast_extract_adder_tree",
+    "pair_candidates",
 ]
+
+# Shared sorted-key helpers live in repro.utils.arrays now; the old private
+# names are kept as aliases for the call sites below.
+_in_sorted = in_sorted
+_sorted_unique = sorted_unique
 
 
 def _flatten_leaf_sets(
@@ -171,27 +190,70 @@ class PairingCandidates:
             *_canonical_rows(mr, cuts.leaves[mr, ms], 3),
         )
 
+    # ------------------------------------------------------------------
+    # Array-native filtering (the serving path never builds dicts)
+    # ------------------------------------------------------------------
+    def xor_root_vars(self) -> np.ndarray:
+        """Sorted unique variables with at least one XOR candidate cut."""
+        cached = getattr(self, "_xor_root_vars", None)
+        if cached is None:
+            cached = sorted_unique(np.concatenate([self.xor2_var,
+                                                   self.xor3_var]))
+            self._xor_root_vars = cached
+        return cached
 
-def _in_sorted(values: np.ndarray, sorted_keys: np.ndarray) -> np.ndarray:
-    """Membership of ``values`` in a sorted 1D int64 key array."""
-    if len(sorted_keys) == 0:
-        return np.zeros(len(values), dtype=bool)
-    index = np.searchsorted(sorted_keys, values)
-    np.minimum(index, len(sorted_keys) - 1, out=index)
-    return sorted_keys[index] == values
+    def maj_root_vars(self) -> np.ndarray:
+        """Sorted unique variables with at least one MAJ candidate cut."""
+        cached = getattr(self, "_maj_root_vars", None)
+        if cached is None:
+            cached = sorted_unique(self.maj_var)
+            self._maj_root_vars = cached
+        return cached
 
+    def select_roots(self, xor_allowed: np.ndarray,
+                     maj_allowed: np.ndarray) -> "PairingCandidates":
+        """Rows whose root is in the given sorted allow-lists.
 
-def _sorted_unique(values: np.ndarray) -> np.ndarray:
-    """``np.unique`` for int64 keys via one sort.
+        One membership pass per row group — the vectorized equivalent of
+        building a prediction-verified :class:`XorMajDetection` and
+        re-flattening it, minus every dict.  Canonical row order is
+        preserved (filtering a sorted array keeps it sorted).
+        """
+        keep2 = in_sorted(self.xor2_var, xor_allowed)
+        keep3 = in_sorted(self.xor3_var, xor_allowed)
+        keepm = in_sorted(self.maj_var, maj_allowed)
+        return PairingCandidates(
+            self.num_vars,
+            self.xor2_var[keep2], self.xor2_leaves[keep2],
+            self.xor3_var[keep3], self.xor3_leaves[keep3],
+            self.maj_var[keepm], self.maj_leaves[keepm],
+        )
 
-    NumPy's hash-based integer ``unique`` costs several ms per call at the
-    sizes the cone sweep sees; a sort plus one neighbor compare is an order
-    of magnitude cheaper and additionally guarantees sorted output.
-    """
-    if len(values) < 2:
-        return np.sort(values)
-    ordered = np.sort(values)
-    return ordered[np.r_[True, ordered[1:] != ordered[:-1]]]
+    def restrict_roots(self, allowed: np.ndarray) -> "PairingCandidates":
+        """Rows whose root is in one sorted allow-list (LSB-cone repair)."""
+        return self.select_roots(allowed, allowed)
+
+    def to_detection(self) -> XorMajDetection:
+        """Dict-form adapter for the legacy oracle and the public API.
+
+        Reconstructs exactly the mapping
+        :func:`~repro.aig.fast_cuts.matched_leaf_sets` would have produced
+        for these rows: per variable, 2-leaf cuts before 3-leaf cuts, each
+        group in ascending leaf order — the enumerators' slot order.  Only
+        adapter/compat paths call this; ``engine="fast"`` extraction never
+        does.
+        """
+        xor_roots: dict[int, list[tuple[int, ...]]] = {}
+        for var, row in zip(self.xor2_var.tolist(),
+                            self.xor2_leaves.tolist()):
+            xor_roots.setdefault(var, []).append(tuple(row))
+        for var, row in zip(self.xor3_var.tolist(),
+                            self.xor3_leaves.tolist()):
+            xor_roots.setdefault(var, []).append(tuple(row))
+        maj_roots: dict[int, list[tuple[int, ...]]] = {}
+        for var, row in zip(self.maj_var.tolist(), self.maj_leaves.tolist()):
+            maj_roots.setdefault(var, []).append(tuple(row))
+        return XorMajDetection(xor_roots=xor_roots, maj_roots=maj_roots)
 
 
 def batched_cones(aig: AIG, root_vars: np.ndarray, root_owner: np.ndarray,
@@ -376,12 +438,15 @@ def _match_full_adders(edge_maj: np.ndarray, edge_xor: np.ndarray,
     return edge_maj[rows], edge_xor[rows], edge_leaves[rows]
 
 
-def _emit_full_adders(aig: AIG, tree: AdderTree, consumed: np.ndarray,
+def _emit_full_adders(aig: AIG, consumed: np.ndarray,
                       fa_maj: np.ndarray, fa_xor: np.ndarray,
-                      fa_leaves: np.ndarray) -> None:
-    """Append matched FAs in ascending-MAJ order and consume their cones.
+                      fa_leaves: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Matched FA columns in ascending-MAJ order, cones consumed.
 
-    The batched path emits every matched pair and consumes the union of
+    Returns ``(sum_var, carry_var, leaves)`` columns for the emitted rows
+    (the array core's FA block — no per-adder objects are created).  The
+    batched path emits every matched pair and consumes the union of
     interiors in two array stores.  That is exactly the sequential result
     unless some pair's root lies inside another pair's cone (or doubles as
     the other side of a second pair) — detected vectorized; only then does
@@ -390,16 +455,13 @@ def _emit_full_adders(aig: AIG, tree: AdderTree, consumed: np.ndarray,
     """
     count = len(fa_maj)
     if count == 0:
-        return
+        return fa_xor, fa_maj, fa_leaves
     owner = np.arange(count, dtype=np.int64)
     root_vars = np.concatenate([fa_xor, fa_maj])
     root_owner = np.concatenate([owner, owner])
     interior_node, interior_owner = batched_cones(
         aig, root_vars, root_owner, fa_leaves,
     )
-    maj_list = fa_maj.tolist()
-    xor_list = fa_xor.tolist()
-    leaf_rows = fa_leaves.tolist()
 
     roots_sorted = np.sort(root_vars)
     conflict = bool(len(roots_sorted) > 1
@@ -410,54 +472,56 @@ def _emit_full_adders(aig: AIG, tree: AdderTree, consumed: np.ndarray,
         hit = owner_of_root[interior_node]
         conflict = bool(np.any((hit >= 0) & (hit != interior_owner)))
     if not conflict:
-        for index in range(count):
-            tree.adders.append(ExtractedAdder(
-                "FA", xor_list[index], maj_list[index],
-                tuple(leaf_rows[index]),
-            ))
         consumed[interior_node] = True
         consumed[root_vars] = True  # non-AND roots are outside the sweep
-        return
+        return fa_xor, fa_maj, fa_leaves
 
+    maj_list = fa_maj.tolist()
+    xor_list = fa_xor.tolist()
     order = np.argsort(interior_owner, kind="stable")
     interior_node = interior_node[order]
     starts = np.searchsorted(interior_owner[order],
                              np.arange(count + 1)).tolist()
+    kept: list[int] = []
     for index in range(count):
         maj, xor = maj_list[index], xor_list[index]
         if consumed[maj] or consumed[xor]:
             continue
-        tree.adders.append(ExtractedAdder(
-            "FA", xor, maj, tuple(leaf_rows[index]),
-        ))
+        kept.append(index)
         consumed[interior_node[starts[index]:starts[index + 1]]] = True
         consumed[maj] = True
         consumed[xor] = True
+    rows = np.asarray(kept, dtype=np.int64)
+    return fa_xor[rows], fa_maj[rows], fa_leaves[rows]
 
 
 # ---------------------------------------------------------------------------
 # Half adders
 # ---------------------------------------------------------------------------
 
-def _emit_half_adders(aig: AIG, tree: AdderTree,
-                      consumed: np.ndarray,
-                      cands: PairingCandidates) -> None:
+def _emit_half_adders(aig: AIG, consumed: np.ndarray,
+                      cands: PairingCandidates
+                      ) -> tuple[list[int], list[int], list[list[int]]]:
     """Match XOR2 roots with free carry ANDs, in canonical order.
 
-    Everything order-dependent is precomputed in array form — the carry
-    pool slice per candidate (own-interior ANDs already filtered out by one
-    vectorized membership pass) and the per-candidate interior node lists —
-    so the remaining scan is the legacy selection semantics at O(1) Python
-    work per candidate: first non-consumed carry wins, its cone is consumed,
-    later candidates of the same root are skipped.
+    Returns ``(sum_vars, carry_vars, leaf_rows)`` columns for the emitted
+    HA rows.  Everything order-dependent is precomputed in array form — the
+    carry pool slice per candidate (own-interior ANDs already filtered out
+    by one vectorized membership pass) and the per-candidate interior node
+    lists — so the remaining scan is the legacy selection semantics at O(1)
+    Python work per candidate: first non-consumed carry wins, its cone is
+    consumed, later candidates of the same root are skipped.
     """
+    ha_sum: list[int] = []
+    ha_carry: list[int] = []
+    ha_leaves: list[list[int]] = []
     if not len(cands.xor2_var):
-        return
+        return ha_sum, ha_carry, ha_leaves
     pool_keys, pool_starts, pool_members = aig.and_pair_groups()
     stride = np.int64(aig.num_vars)
     pair_key = cands.xor2_leaves[:, 0] * stride + cands.xor2_leaves[:, 1]
     if len(pool_keys) == 0:
-        return
+        return ha_sum, ha_carry, ha_leaves
     group = np.searchsorted(pool_keys, pair_key)
     group_clipped = np.minimum(group, len(pool_keys) - 1)
     has_pool = (group < len(pool_keys)) & (pool_keys[group_clipped] == pair_key)
@@ -467,7 +531,7 @@ def _emit_half_adders(aig: AIG, tree: AdderTree,
     # only grows during selection, so the prefilter can never unskip one.
     active = np.flatnonzero(has_pool & ~consumed[cands.xor2_var])
     if not len(active):
-        return
+        return ha_sum, ha_carry, ha_leaves
     owner = np.arange(len(active), dtype=np.int64)
     interior_node, interior_owner = batched_cones(
         aig, cands.xor2_var[active], owner, cands.xor2_leaves[active],
@@ -508,48 +572,97 @@ def _emit_half_adders(aig: AIG, tree: AdderTree,
                 break
         if matched_carry < 0:
             continue
-        tree.adders.append(ExtractedAdder(
-            "HA", xor, matched_carry, tuple(leaf_rows[index]),
-        ))
+        ha_sum.append(xor)
+        ha_carry.append(matched_carry)
+        ha_leaves.append(leaf_rows[index])
         consumed[
             interior_sorted[interior_starts[index]:interior_starts[index + 1]]
         ] = True
         consumed[xor] = True
         consumed[matched_carry] = True
+    return ha_sum, ha_carry, ha_leaves
+
+
+def _assemble_core(fa_sum: np.ndarray, fa_carry: np.ndarray,
+                   fa_leaves: np.ndarray, ha_sum: list[int],
+                   ha_carry: list[int],
+                   ha_leaves: list[list[int]]) -> AdderTreeArrays:
+    """Concatenate the FA block and HA rows into one array core."""
+    num_fa, num_ha = len(fa_sum), len(ha_sum)
+    count = num_fa + num_ha
+    if count == 0:
+        return AdderTreeArrays.empty()
+    kind = np.empty(count, dtype=np.uint8)
+    kind[:num_fa] = KIND_FA
+    kind[num_fa:] = KIND_HA
+    sum_var = np.empty(count, dtype=np.int32)
+    sum_var[:num_fa] = fa_sum
+    sum_var[num_fa:] = ha_sum
+    carry_var = np.empty(count, dtype=np.int32)
+    carry_var[:num_fa] = fa_carry
+    carry_var[num_fa:] = ha_carry
+    leaves = np.full((count, 3), -1, dtype=np.int32)
+    leaves[:num_fa] = fa_leaves
+    if num_ha:
+        leaves[num_fa:, :2] = ha_leaves
+    leaf_count = np.empty(count, dtype=np.int8)
+    leaf_count[:num_fa] = 3
+    leaf_count[num_fa:] = 2
+    return AdderTreeArrays(kind, sum_var, carry_var, leaves, leaf_count)
 
 
 # ---------------------------------------------------------------------------
-# Entry point
+# Entry points
 # ---------------------------------------------------------------------------
+
+def pair_candidates(aig: AIG, cands: PairingCandidates,
+                    detection: XorMajDetection | None = None) -> AdderTree:
+    """Pair candidate arrays into an :class:`AdderTree`, dict-free.
+
+    The array-native pairing core: FA matching, cone consumption and HA
+    selection all run on the candidate arrays, the result is emitted
+    straight into the tree's struct-of-arrays core, and the ``consumed``
+    set / ``adders`` list / ``detection`` dicts exist only as lazy views.
+    ``detection``, when the caller already has one, is attached for the
+    object view; otherwise ``tree.detection`` adapts from ``cands`` on
+    first access.
+    """
+    consumed = np.zeros(aig.num_vars, dtype=bool)
+    fa_sum, fa_carry, fa_leaves = _emit_full_adders(
+        aig, consumed,
+        *_match_full_adders(*_full_adder_edges(cands)),
+    )
+    ha_sum, ha_carry, ha_leaves = _emit_half_adders(aig, consumed, cands)
+    core = _assemble_core(fa_sum, fa_carry, fa_leaves,
+                          ha_sum, ha_carry, ha_leaves)
+    return AdderTree(core=core, consumed_mask=consumed,
+                     detection=detection, candidates=cands)
+
 
 def fast_extract_adder_tree(aig: AIG,
                             detection: XorMajDetection | None = None,
-                            max_cuts: int = 10) -> AdderTree:
+                            max_cuts: int = 10,
+                            candidates: PairingCandidates | None = None,
+                            ) -> AdderTree:
     """Array-shaped equivalent of ``extract_adder_tree(engine="legacy")``.
 
-    With ``detection=None`` the whole pipeline — cut sweep, classification,
-    pairing — shares one :class:`~repro.aig.fast_cuts.CutArrays` pass and
-    the candidate arrays are built straight from the classification masks;
-    an explicit detection (the prediction post-processing path) is
-    flattened instead.  Either way the result is bit-identical to the
-    legacy loop: same adders in the same order, same ``consumed`` set.
+    With ``candidates`` the caller already holds the flattened rows (the
+    array-native post-processing path) and pairing runs directly on them;
+    with ``detection`` the dict form is flattened first (legacy-oracle and
+    public-API compatibility); with neither, the whole pipeline — cut
+    sweep, classification, pairing — shares one
+    :class:`~repro.aig.fast_cuts.CutArrays` pass and the candidate arrays
+    are built straight from the classification masks.  Every route is
+    bit-identical to the legacy loop: same adders in the same order, same
+    ``consumed`` set.
     """
-    if detection is None:
-        from repro.aig.fast_cuts import enumerate_cuts_arrays, matched_leaf_sets
+    if candidates is not None:
+        cands = candidates
+    elif detection is not None:
+        cands = PairingCandidates.from_detection(detection, aig.num_vars)
+    else:
+        from repro.aig.fast_cuts import enumerate_cuts_arrays
 
         arrays = enumerate_cuts_arrays(aig, k=3, max_cuts=max_cuts)
-        xor_sets, maj_sets = matched_leaf_sets(arrays)
-        detection = XorMajDetection(xor_roots=xor_sets, maj_roots=maj_sets)
         cands = PairingCandidates.from_cut_arrays(arrays)
-    else:
-        cands = PairingCandidates.from_detection(detection, aig.num_vars)
-
-    tree = AdderTree(detection=detection)
-    consumed = np.zeros(aig.num_vars, dtype=bool)
-    _emit_full_adders(
-        aig, tree, consumed,
-        *_match_full_adders(*_full_adder_edges(cands)),
-    )
-    _emit_half_adders(aig, tree, consumed, cands)
-    tree.consumed = set(np.flatnonzero(consumed).tolist())
-    return tree
+    return pair_candidates(aig, cands, detection=detection)

@@ -6,14 +6,30 @@ products feeding the tree, and which adder outputs drive primary outputs.
 This is the "word-level abstraction" payoff the paper targets (Sec. II-B):
 once the adder tree is known, the multiplier collapses from tens of
 thousands of AND nodes to a few hundred arithmetic slices.
+
+Engine/adapter boundary
+-----------------------
+:func:`analyze_adder_tree` runs on the tree's struct-of-arrays core by
+default (``engine="fast"``): ranks come from a Kahn wavefront over the
+cached CSR link index, leaf classification and output linkage are single
+vectorized membership passes, and no per-adder Python walk remains.  The
+original per-adder loop is preserved as ``engine="legacy"`` — the
+differential-test oracle and the runtime baseline of
+``benchmarks/bench_wordlevel_fast.py``.  Both produce identical
+:class:`WordLevelReport` values: the report normalizes its collections on
+construction (sorted lists), so equality is well-defined and stable across
+runs regardless of which engine — or which set-iteration order — built it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.aig.graph import AIG, lit_var
-from repro.reasoning.adder_tree import AdderTree
+from repro.reasoning.adder_tree import KIND_FA, KIND_HA, AdderTree
+from repro.utils.arrays import in_sorted, ragged_gather
 
 __all__ = [
     "WordLevelReport",
@@ -25,15 +41,29 @@ __all__ = [
 
 @dataclass
 class WordLevelReport:
-    """Summary of an extracted adder tree as a word-level structure."""
+    """Summary of an extracted adder tree as a word-level structure.
+
+    All collections are normalized on construction — ``ranks`` levels are
+    ascending adder indexes, ``pp_leaves`` / ``pi_leaves`` /
+    ``output_roots`` are sorted deduplicated lists — so two reports over
+    the same tree compare equal no matter which engine built them or what
+    iteration order their inputs arrived in (sets used to leak their
+    run-dependent order here).
+    """
 
     num_full_adders: int
     num_half_adders: int
     num_links: int
     ranks: list[list[int]] = field(default_factory=list)  # adder indexes by depth
-    pp_leaves: set[int] = field(default_factory=set)  # leaves that are PP ANDs
-    pi_leaves: set[int] = field(default_factory=set)  # leaves that are PIs
-    output_roots: set[int] = field(default_factory=set)  # roots driving POs
+    pp_leaves: list[int] = field(default_factory=list)  # leaves that are PP ANDs
+    pi_leaves: list[int] = field(default_factory=list)  # leaves that are PIs
+    output_roots: list[int] = field(default_factory=list)  # roots driving POs
+
+    def __post_init__(self) -> None:
+        self.ranks = [sorted(int(i) for i in level) for level in self.ranks]
+        self.pp_leaves = sorted({int(v) for v in self.pp_leaves})
+        self.pi_leaves = sorted({int(v) for v in self.pi_leaves})
+        self.output_roots = sorted({int(v) for v in self.output_roots})
 
     @property
     def depth(self) -> int:
@@ -60,17 +90,20 @@ def partial_product_leaves(aig: AIG, tree: AdderTree) -> tuple[set[int], set[int
     either a primary input or an AND of primary inputs (a partial product) —
     a useful sanity invariant that tests assert on generated multipliers.
     """
-    internal_outputs = tree.root_vars()
-    pp_leaves: set[int] = set()
-    pi_leaves: set[int] = set()
-    for leaf in tree.leaf_vars():
-        if leaf in internal_outputs:
-            continue
-        if aig.is_input(leaf):
-            pi_leaves.add(leaf)
-        elif aig.is_and(leaf):
-            pp_leaves.add(leaf)
-    return pp_leaves, pi_leaves
+    pp_arr, pi_arr = _classify_external_leaves(aig, tree)
+    return set(pp_arr.tolist()), set(pi_arr.tolist())
+
+
+def _classify_external_leaves(aig: AIG,
+                              tree: AdderTree) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted (pp, pi) leaf arrays: one vectorized membership pass."""
+    core = tree.arrays()
+    leaves = core.leaf_vars()
+    external = leaves[~in_sorted(leaves, core.root_vars())]
+    first_and = 1 + aig.num_inputs
+    pp = external[(external >= first_and) & (external < aig.num_vars)]
+    pi = external[(external >= 1) & (external < first_and)]
+    return pp, pi
 
 
 def compare_adder_trees(reference: AdderTree, candidate: AdderTree) -> dict[str, float]:
@@ -79,14 +112,17 @@ def compare_adder_trees(reference: AdderTree, candidate: AdderTree) -> dict[str,
     A slice matches when both roots coincide — the criterion that matters
     for downstream rewriting.  Used to score prediction-based extraction
     against exact reasoning (the gap of the paper's Fig. 3(d) vs 3(e)).
+    Joins the two trees' cached packed root-pair keys
+    (:meth:`~repro.reasoning.adder_tree.AdderTreeArrays.root_pair_keys`)
+    instead of rebuilding Python pair sets on every call.
     """
-    ref_pairs = {(a.sum_var, a.carry_var) for a in reference.adders}
-    cand_pairs = {(a.sum_var, a.carry_var) for a in candidate.adders}
-    if not ref_pairs and not cand_pairs:
+    ref_keys = reference.arrays().root_pair_keys()
+    cand_keys = candidate.arrays().root_pair_keys()
+    if not len(ref_keys) and not len(cand_keys):
         return {"precision": 1.0, "recall": 1.0, "f1": 1.0}
-    hits = len(ref_pairs & cand_pairs)
-    precision = hits / len(cand_pairs) if cand_pairs else 0.0
-    recall = hits / len(ref_pairs) if ref_pairs else 0.0
+    hits = len(np.intersect1d(ref_keys, cand_keys, assume_unique=True))
+    precision = hits / len(cand_keys) if len(cand_keys) else 0.0
+    recall = hits / len(ref_keys) if len(ref_keys) else 0.0
     f1 = (
         2.0 * precision * recall / (precision + recall)
         if precision + recall > 0
@@ -95,9 +131,93 @@ def compare_adder_trees(reference: AdderTree, candidate: AdderTree) -> dict[str,
     return {"precision": precision, "recall": recall, "f1": f1}
 
 
-def analyze_adder_tree(aig: AIG, tree: AdderTree) -> WordLevelReport:
-    """Build the word-level report: ranks, leaf classes, output linkage."""
-    links = tree.links()
+def analyze_adder_tree(aig: AIG, tree: AdderTree,
+                       engine: str = "fast") -> WordLevelReport:
+    """Build the word-level report: ranks, leaf classes, output linkage.
+
+    ``engine="fast"`` (default) runs entirely on the tree's array core —
+    a Kahn wavefront over the cached CSR link index for the ranks, one
+    membership pass each for leaf classes and output roots;
+    ``engine="legacy"`` keeps the original per-adder Python walk as the
+    differential oracle and runtime baseline.  Reports are identical.
+    """
+    if engine == "fast":
+        return _analyze_fast(aig, tree)
+    if engine != "legacy":
+        raise ValueError(f"engine must be 'fast' or 'legacy', got {engine!r}")
+    return _analyze_legacy(aig, tree)
+
+
+def _analyze_fast(aig: AIG, tree: AdderTree) -> WordLevelReport:
+    core = tree.arrays()
+    num_adders = len(core)
+    src, dst = core.link_edges()
+
+    # Longest-path rank by Kahn wavefront: a frontier of rank-final adders
+    # pushes ``rank + 1`` through the CSR fan-out index; an adder joins the
+    # next frontier when its last incoming edge resolves.  The adder DAG
+    # inherits acyclicity from the AIG (links follow variable topological
+    # order), so every adder is processed exactly once.
+    rank = np.zeros(num_adders, dtype=np.int64)
+    if len(src):
+        indptr, consumers = core.link_csr()
+        indegree = np.bincount(dst, minlength=num_adders)
+        frontier = np.flatnonzero(indegree == 0)
+        while len(frontier):
+            starts, ends = indptr[frontier], indptr[frontier + 1]
+            flat = ragged_gather(starts, ends)
+            if not len(flat):
+                break
+            children = consumers[flat]
+            parents = np.repeat(frontier, ends - starts)
+            np.maximum.at(rank, children, rank[parents] + 1)
+            np.subtract.at(indegree, children, 1)
+            unique_children = np.unique(children)
+            frontier = unique_children[indegree[unique_children] == 0]
+
+    if num_adders:
+        order = np.argsort(rank, kind="stable")  # ascending index per rank
+        ordered = rank[order]
+        depth = int(ordered[-1]) + 1
+        bounds = np.searchsorted(ordered, np.arange(depth + 1))
+        ranks = [order[bounds[level]:bounds[level + 1]].tolist()
+                 for level in range(depth)]
+    else:
+        ranks = []
+
+    pp, pi = _classify_external_leaves(aig, tree)
+    out_vars = np.unique(np.asarray(aig.outputs, dtype=np.int64) >> 1)
+    output_roots = out_vars[in_sorted(out_vars, core.root_vars())]
+    return WordLevelReport(
+        num_full_adders=int(np.count_nonzero(core.kind == KIND_FA)),
+        num_half_adders=int(np.count_nonzero(core.kind == KIND_HA)),
+        num_links=len(src),
+        ranks=ranks,
+        pp_leaves=pp.tolist(),
+        pi_leaves=pi.tolist(),
+        output_roots=output_roots.tolist(),
+    )
+
+
+def _analyze_legacy(aig: AIG, tree: AdderTree) -> WordLevelReport:
+    """The original per-adder walk, kept verbatim as the oracle/baseline
+    (including its own dict-based link construction — the fast engine must
+    beat *this*, not a half-vectorized hybrid)."""
+    producer_of: dict[int, int] = {}
+    for index, adder in enumerate(tree.adders):
+        producer_of[adder.sum_var] = index
+        producer_of[adder.carry_var] = index
+    links: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    for index, adder in enumerate(tree.adders):
+        for leaf in adder.leaves:
+            source = producer_of.get(leaf)
+            if source is None or source == index:
+                continue
+            edge = (source, index)
+            if edge not in seen:
+                seen.add(edge)
+                links.append(edge)
     num_adders = len(tree.adders)
 
     # Longest-path rank of each adder inside the DAG.
@@ -123,14 +243,24 @@ def analyze_adder_tree(aig: AIG, tree: AdderTree) -> WordLevelReport:
             ranks.append([])
         ranks[rank[index]].append(index)
 
-    pp_leaves, pi_leaves = partial_product_leaves(aig, tree)
-    root_vars = tree.root_vars()
+    internal_outputs = {v for a in tree.adders
+                        for v in (a.sum_var, a.carry_var)}
+    pp_leaves: set[int] = set()
+    pi_leaves: set[int] = set()
+    for adder in tree.adders:
+        for leaf in adder.leaves:
+            if leaf in internal_outputs:
+                continue
+            if aig.is_input(leaf):
+                pi_leaves.add(leaf)
+            elif aig.is_and(leaf):
+                pp_leaves.add(leaf)
     output_roots = {
-        lit_var(lit) for lit in aig.outputs if lit_var(lit) in root_vars
+        lit_var(lit) for lit in aig.outputs if lit_var(lit) in internal_outputs
     }
     return WordLevelReport(
-        num_full_adders=tree.num_full_adders,
-        num_half_adders=tree.num_half_adders,
+        num_full_adders=sum(1 for a in tree.adders if a.kind == "FA"),
+        num_half_adders=sum(1 for a in tree.adders if a.kind == "HA"),
         num_links=len(links),
         ranks=ranks,
         pp_leaves=pp_leaves,

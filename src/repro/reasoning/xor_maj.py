@@ -11,6 +11,7 @@ is the source of ground-truth labels for training and accuracy evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 from repro.aig.cuts import enumerate_cuts
 from repro.aig.graph import AIG
@@ -27,10 +28,21 @@ class XorMajDetection:
 
     ``xor_roots`` / ``maj_roots`` map a root variable to the list of leaf
     tuples (cuts) under which its function is NPN-XOR / NPN-MAJ.
+
+    ``constructions`` counts every instance ever built (process-wide).
+    The serving path is required to stay dict-free — ``engine="fast"``
+    post-processing keeps candidates in array form end to end and only
+    adapts to this class lazily — and the counter is what the tests
+    assert that with.
     """
 
     xor_roots: LeafSets = field(default_factory=dict)
     maj_roots: LeafSets = field(default_factory=dict)
+
+    constructions: ClassVar[int] = 0
+
+    def __post_init__(self) -> None:
+        XorMajDetection.constructions += 1
 
     @property
     def num_xor(self) -> int:

@@ -62,6 +62,14 @@ do not depend on weights) but cached results become stale — call
 :meth:`clear_result_cache` (``Gamora.fit`` drops its lazily built service
 automatically).
 
+Both caches persist to disk: :meth:`save_result_cache` /
+:meth:`load_result_cache` spill reasoning outcomes stamped with the model
+fingerprint, and :meth:`save_graph_cache` / :meth:`load_graph_cache` spill
+the encoded graphs stamped with the *encoding* fingerprint only — so a
+retrained model reloads its encodings while a different feature mode or
+direction invalidates them.  ``batch-reason --cache-dir`` wires both up
+(results at the directory root, graphs under ``graphs/``).
+
 The invariant that makes all of this safe — sharded/parallel/batched
 predictions are identical to sequential ones — is enforced by
 ``tests/test_serve_batching.py`` and ``tests/test_serve_sharding.py``.
@@ -186,14 +194,19 @@ def _normalize_options(root_filter: bool, correct_lsb: bool,
 
 
 def _freeze_arrays(value) -> None:
-    """Mark every ndarray reachable through dicts/tuples/lists read-only.
+    """Mark every ndarray reachable through the cached payload read-only.
 
-    Disk-loaded cache values must re-acquire the frozen-labels invariant
-    (pickling drops the WRITEABLE flag): hits share arrays, so accidental
-    mutation must raise.  Walking the structure — rather than assuming the
-    exact (labels, extraction) shape — keeps the guarantee if the cached
-    payload shape ever changes.
+    Cache hits share arrays (in memory and reloaded from disk, where
+    pickling drops the WRITEABLE flag), so accidental mutation must raise.
+    Besides dicts/tuples/lists, the walk descends the v3 extraction object
+    graph — ``PredictedExtraction`` → ``AdderTree`` → ``AdderTreeArrays`` /
+    ``PairingCandidates`` — whose struct-of-arrays columns would otherwise
+    stay silently writable while the labels froze.
     """
+    from repro.core.postprocess import PredictedExtraction
+    from repro.reasoning.adder_tree import AdderTree, AdderTreeArrays
+    from repro.reasoning.fast_pairing import PairingCandidates
+
     if isinstance(value, np.ndarray):
         value.setflags(write=False)
     elif isinstance(value, dict):
@@ -202,6 +215,12 @@ def _freeze_arrays(value) -> None:
     elif isinstance(value, (tuple, list)):
         for item in value:
             _freeze_arrays(item)
+    elif isinstance(value, (PredictedExtraction, AdderTree,
+                            PairingCandidates)):
+        _freeze_arrays(vars(value))
+    elif isinstance(value, AdderTreeArrays):
+        for slot in AdderTreeArrays.__slots__:
+            _freeze_arrays(getattr(value, slot, None))
 
 
 class ReasoningService:
@@ -418,13 +437,15 @@ class ReasoningService:
                 stats.postprocess_seconds += post_seconds
                 labels = per_labels[data_index]
                 if store_results:
-                    # The cached labels alias the arrays handed to callers;
-                    # freeze them so accidental mutation raises instead of
+                    # The cached labels — and the extraction's array-core
+                    # tree — alias the arrays handed to callers; freeze
+                    # them so accidental mutation raises instead of
                     # silently poisoning later cache hits.  With the cache
                     # disabled nothing is stored, so the arrays stay
                     # writable like sequential reason()'s.
                     for array in labels.values():
                         array.setflags(write=False)
+                    _freeze_arrays(extraction)
                     self.result_cache.put(
                         (key[0], options), key[1], (labels, extraction)
                     )
@@ -460,26 +481,34 @@ class ReasoningService:
     # else is foreign data and is never touched.
     _CACHE_FORMAT_FAMILY = "gamora-result-cache-"
     # v2: the options key gained the post-processing engine field.
-    _CACHE_FORMAT = _CACHE_FORMAT_FAMILY + "v2"
+    # v3: the extraction payload carries the array-core AdderTree
+    #     (struct-of-arrays slices + candidate rows, lazy detection).
+    _CACHE_FORMAT = _CACHE_FORMAT_FAMILY + "v3"
+
+    # The encoded-graph cache persists separately: encodings depend only on
+    # the encoding configuration (feature mode / direction), not on the
+    # model weights, so the stamp carries an encoding fingerprint and a
+    # retrained model keeps its graph spill valid.
+    _GRAPH_MARKER = "GRAPH.tag"
+    _GRAPH_FORMAT_FAMILY = "gamora-graph-cache-"
+    _GRAPH_FORMAT = _GRAPH_FORMAT_FAMILY + "v1"
 
     @classmethod
-    def validate_cache_dir(cls, directory) -> str | None:
-        """Why ``directory`` cannot be used as a result-cache dir, or None.
+    def _validate_owned_dir(cls, directory, marker_name: str,
+                            family: str, what: str) -> str | None:
+        """Shared ownership rule for every stamped cache directory.
 
-        Single source of truth for cache-directory ownership — used by
-        :meth:`save_result_cache` before writing anything and by the CLI's
-        fail-fast precheck, so the two can never diverge.  A directory is
-        usable when it is fresh (no ``.npz`` payload) or carries a marker
-        this service family wrote; a foreign marker or unstamped ``.npz``
-        files make it untouchable.
+        A directory is usable when it is fresh (no ``.npz`` payload) or
+        carries a marker this service family wrote; a foreign marker or
+        unstamped ``.npz`` files make it untouchable.
         """
         from pathlib import Path
 
         directory = Path(directory)
-        marker = directory / cls._MODEL_MARKER
+        marker = directory / marker_name
         if marker.is_file():
             try:
-                owned = marker.read_text().startswith(cls._CACHE_FORMAT_FAMILY)
+                owned = marker.read_text().startswith(family)
             except OSError:
                 owned = False
             if owned:
@@ -487,9 +516,27 @@ class ReasoningService:
             return (f"{marker} exists but was not written by a reasoning "
                     "service")
         if any(directory.glob("*.npz")):
-            return (f"{directory} contains .npz files but no result-cache "
-                    "stamp")
+            return (f"{directory} contains .npz files but no {what} stamp")
         return None
+
+    @classmethod
+    def validate_cache_dir(cls, directory) -> str | None:
+        """Why ``directory`` cannot be used as a result-cache dir, or None.
+
+        Single source of truth for cache-directory ownership — used by
+        :meth:`save_result_cache` before writing anything and by the CLI's
+        fail-fast precheck, so the two can never diverge.
+        """
+        return cls._validate_owned_dir(directory, cls._MODEL_MARKER,
+                                       cls._CACHE_FORMAT_FAMILY,
+                                       "result-cache")
+
+    @classmethod
+    def validate_graph_cache_dir(cls, directory) -> str | None:
+        """Why ``directory`` cannot hold the encoded-graph cache, or None."""
+        return cls._validate_owned_dir(directory, cls._GRAPH_MARKER,
+                                       cls._GRAPH_FORMAT_FAMILY,
+                                       "graph-cache")
 
     def _model_fingerprint(self) -> str:
         """Digest of the bound Gamora's configuration and weights.
@@ -519,30 +566,49 @@ class ReasoningService:
         self._model_fp = digest.hexdigest()
         return self._model_fp
 
-    def save_result_cache(self, directory) -> int:
-        """Spill the result cache to ``directory`` (fingerprint-named npz).
+    def _encoding_fingerprint(self) -> str:
+        """Digest of everything a :class:`GraphData` encoding depends on.
 
-        The directory is stamped with the bound model's fingerprint; a
-        directory this service family stamped under a *different* model
-        (or cache-format version) is purged first — those entries could
-        never be valid again, and ``to_dir`` skips by file name, so stale
-        files would otherwise shadow recomputed results forever.  A
-        directory holding foreign data (``.npz`` files without our stamp,
-        or someone else's ``MODEL.tag``) is refused (``OSError``) rather
-        than cleaned out.  Returns the number of entries written;
-        already-present entries are skipped, so repeated saves are cheap
-        and incremental.
+        Deliberately *not* the model fingerprint: features and adjacency
+        are weight-independent, so a retrained model reloads its encoded
+        graphs while a different ``feature_mode``/``direction`` (which
+        changes every feature row) invalidates them.
+        """
+        import hashlib
+        import json
+
+        config = self.gamora.model_config
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(
+            json.dumps({"feature_mode": config.feature_mode,
+                        "direction": config.direction},
+                       sort_keys=True).encode("utf-8")
+        )
+        return digest.hexdigest()
+
+    def _spill_cache(self, cache: StructuralHashCache, directory,
+                     marker_name: str, stamp: str, error: str | None,
+                     what: str) -> int:
+        """Stamp-guarded spill shared by the result and graph caches.
+
+        The directory is stamped; one this service family stamped under a
+        *different* fingerprint (or format version) is purged first —
+        those entries could never be valid again, and ``to_dir`` skips by
+        file name, so stale files would otherwise shadow recomputed
+        entries forever.  A directory holding foreign data (``.npz``
+        files without our stamp, or someone else's marker) is refused
+        (``OSError``) rather than cleaned out.  Returns the number of
+        entries written; already-present entries are skipped, so repeated
+        saves are cheap and incremental.
         """
         from pathlib import Path
 
         directory = Path(directory)
-        error = self.validate_cache_dir(directory)
         if error is not None:
             raise OSError(
-                f"{error}; refusing to use it as a result-cache directory"
+                f"{error}; refusing to use it as a {what} directory"
             )
-        stamp = f"{self._CACHE_FORMAT}:{self._model_fingerprint()}"
-        marker = directory / self._MODEL_MARKER
+        marker = directory / marker_name
         stamped = marker.is_file() and marker.read_text().strip() == stamp
         if not stamped:
             # Validation above proved the directory is ours or fresh, so
@@ -563,8 +629,36 @@ class ReasoningService:
         # The stamp doubles as the entry namespace: entries written by a
         # concurrent service under a different model get different file
         # names and are ignored on load, so a racing save can never
-        # poison this model's cache with another model's results.
-        return self.result_cache.to_dir(directory, namespace=stamp)
+        # poison this cache with another configuration's artifacts.
+        return cache.to_dir(directory, namespace=stamp)
+
+    @staticmethod
+    def _reload_cache(cache: StructuralHashCache, directory,
+                      marker_name: str, stamp: str) -> int:
+        """Stamp-checked reload shared by the result and graph caches."""
+        from pathlib import Path
+
+        marker = Path(directory) / marker_name
+        if not marker.is_file():
+            return 0
+        if marker.read_text().strip() != stamp:
+            return 0
+        loaded = cache.from_dir(directory, namespace=stamp)
+        # Report what actually survived insertion: the LRU bound (or a
+        # disabled cache) can retain fewer entries than the dir held.
+        return min(loaded, len(cache))
+
+    def save_result_cache(self, directory) -> int:
+        """Spill the result cache to ``directory`` (fingerprint-named npz).
+
+        Stamped with the bound model's weight fingerprint — see
+        :meth:`_spill_cache` for the ownership/purge rules.
+        """
+        return self._spill_cache(
+            self.result_cache, directory, self._MODEL_MARKER,
+            f"{self._CACHE_FORMAT}:{self._model_fingerprint()}",
+            self.validate_cache_dir(directory), "result-cache",
+        )
 
     def load_result_cache(self, directory) -> int:
         """Reload a previously saved result cache from ``directory``.
@@ -576,20 +670,33 @@ class ReasoningService:
         shared between hits, so they must reject accidental mutation.
         Returns the number of entries loaded.
         """
-        from pathlib import Path
-
-        marker = Path(directory) / self._MODEL_MARKER
-        if not marker.is_file():
-            return 0
         stamp = f"{self._CACHE_FORMAT}:{self._model_fingerprint()}"
-        if marker.read_text().strip() != stamp:
-            return 0
-        loaded = self.result_cache.from_dir(directory, namespace=stamp)
-        for _, _, value in self.result_cache.items():
-            _freeze_arrays(value)
-        # Report what actually survived insertion: the LRU bound (or a
-        # disabled cache) can retain fewer entries than the dir held.
-        return min(loaded, len(self.result_cache))
+        loaded = self._reload_cache(self.result_cache, directory,
+                                    self._MODEL_MARKER, stamp)
+        if loaded:
+            for _, _, value in self.result_cache.items():
+                _freeze_arrays(value)
+        return loaded
+
+    def save_graph_cache(self, directory) -> int:
+        """Spill the encoded-graph cache (mirrors :meth:`save_result_cache`).
+
+        Entries are :class:`GraphData` encodings keyed by structural hash;
+        the stamp carries the encoding fingerprint, so a service with a
+        different ``feature_mode``/``direction`` purges them while a
+        merely retrained model keeps them.
+        """
+        return self._spill_cache(
+            self.graph_cache, directory, self._GRAPH_MARKER,
+            f"{self._GRAPH_FORMAT}:{self._encoding_fingerprint()}",
+            self.validate_graph_cache_dir(directory), "graph-cache",
+        )
+
+    def load_graph_cache(self, directory) -> int:
+        """Reload a spilled encoded-graph cache (0 on a stamp mismatch)."""
+        stamp = f"{self._GRAPH_FORMAT}:{self._encoding_fingerprint()}"
+        return self._reload_cache(self.graph_cache, directory,
+                                  self._GRAPH_MARKER, stamp)
 
     # ------------------------------------------------------------------
     def clear_result_cache(self) -> None:

@@ -27,6 +27,13 @@ Design constraints, in order:
 The pool is intentionally per-call scoped (a context manager): the service
 creates one around a ``reason_many`` pipeline and tears it down afterwards,
 so no worker processes outlive a request.
+
+Worker results are :class:`~repro.core.postprocess.PredictedExtraction`
+objects carrying the array-core
+:class:`~repro.reasoning.adder_tree.AdderTree` (int32 columns, lazy
+detection/adders/consumed views): what crosses the process boundary is a
+handful of NumPy arrays, not per-adder objects or leaf-set dicts, so the
+pickle cost of reassembly stays proportional to the slice count.
 """
 
 from __future__ import annotations

@@ -4,7 +4,33 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ragged_gather"]
+__all__ = ["ragged_gather", "in_sorted", "sorted_unique"]
+
+
+def in_sorted(values: np.ndarray, sorted_keys: np.ndarray) -> np.ndarray:
+    """Membership of ``values`` in a sorted 1D int64 key array.
+
+    One ``searchsorted`` plus a gather — the hash-free membership probe the
+    array-native pipeline uses everywhere a legacy path would build a set.
+    """
+    if len(sorted_keys) == 0:
+        return np.zeros(len(values), dtype=bool)
+    index = np.searchsorted(sorted_keys, values)
+    np.minimum(index, len(sorted_keys) - 1, out=index)
+    return sorted_keys[index] == values
+
+
+def sorted_unique(values: np.ndarray) -> np.ndarray:
+    """``np.unique`` for int64 keys via one sort.
+
+    NumPy's hash-based integer ``unique`` costs several ms per call at the
+    sizes the cone sweep sees; a sort plus one neighbor compare is an order
+    of magnitude cheaper and additionally guarantees sorted output.
+    """
+    if len(values) < 2:
+        return np.sort(values)
+    ordered = np.sort(values)
+    return ordered[np.r_[True, ordered[1:] != ordered[:-1]]]
 
 
 def ragged_gather(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:

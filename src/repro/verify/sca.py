@@ -18,13 +18,26 @@ Two engines:
   polynomial is ever needed.  This reproduces the fast algebraic
   rewriting of Yu et al. (TCAD'17) on top of either exact or
   Gamora-predicted adder trees.
+
+Relation resolution is batched by default (``engine="fast"``): one
+cone-restricted cut sweep delivers every root's truth over its slice
+leaves, matched against the roots' leaf rows with one fanin-array join,
+and the polarity search runs as a vectorized comparison against
+precomputed flip tables — replacing the per-adder ``node_cuts`` walk of
+:func:`_resolve_relation`, which stays as ``engine="legacy"`` (the
+differential oracle).  Both resolve identical relations on real adder
+trees; an unresolvable pair (pruned cuts) falls back to plain gate-level
+rewriting either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
-from repro.aig.graph import AIG, lit_neg, lit_var
+import numpy as np
+
+from repro.aig.graph import AIG
 from repro.aig.npn import MAJ3, XOR2, XOR3, apply_transform
 from repro.reasoning.adder_tree import AdderTree, extract_adder_tree
 from repro.techmap.mapper import _truth_over_leaves
@@ -107,6 +120,132 @@ def _resolve_relation(aig: AIG, adder) -> _AdderRelation | None:
     return None
 
 
+@lru_cache(maxsize=None)
+def _flip_tables(arity: int) -> tuple[np.ndarray, np.ndarray, int]:
+    """``(xor_cells, carry_cells, full)`` for every flip combination.
+
+    ``xor_cells[f]`` / ``carry_cells[f]`` are the reference XOR / carry
+    truth tables with input ``j`` complemented when bit ``j`` of ``f`` is
+    set — the constant-size tables the batched resolver compares every
+    adder's truths against at once (2**arity entries, arity ≤ 3).
+    """
+    xor_ref = XOR3 if arity == 3 else XOR2
+    carry_ref = MAJ3 if arity == 3 else 0b1000
+    identity = tuple(range(arity))
+    combos = [tuple((f >> j) & 1 for j in range(arity))
+              for f in range(1 << arity)]
+    xor_cells = np.array(
+        [apply_transform(xor_ref, arity, identity, flips, 0)
+         for flips in combos], dtype=np.int64)
+    carry_cells = np.array(
+        [apply_transform(carry_ref, arity, identity, flips, 0)
+         for flips in combos], dtype=np.int64)
+    return xor_cells, carry_cells, (1 << (1 << arity)) - 1
+
+
+def _truths_over_rows(cuts, vars_: np.ndarray, leaves: np.ndarray,
+                      arity: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Truth of each root over its leaf row, via one shared cut sweep.
+
+    The fanin-array join of the batched resolver: for query row ``i`` the
+    slots of ``vars_[i]`` are compared wholesale against the (pad-aligned)
+    leaf row; the first exact match yields the truth.  Returns ``(truth,
+    found)`` — a root whose leaf set survives in no enumerated cut (pruned
+    lists, or a hand-built slice wider than the k=3 sweep) is simply
+    unresolved, like :func:`_truth_over_leaves` returning None.
+    """
+    pad = cuts.num_vars
+    # Rows wider than 3 leaves can never match a k<=3 cut; comparing only
+    # the first 3 columns keeps the broadcast aligned while the
+    # ``sizes == arity`` test below already rules those rows out.
+    head = leaves[:, :3]
+    target = np.where(head >= 0, head, pad)
+    slot_count = cuts.truths.shape[1]
+    valid = np.arange(slot_count)[None, :] < cuts.counts[vars_][:, None]
+    match = (
+        valid
+        & (cuts.sizes[vars_] == arity[:, None])
+        & np.all(cuts.leaves[vars_] == target[:, None, :], axis=2)
+    )
+    found = match.any(axis=1)
+    slot = np.argmax(match, axis=1)
+    truth = cuts.truths[vars_, slot].astype(np.int64)
+    return truth, found
+
+
+def _resolve_relations_fast(aig: AIG, tree: AdderTree,
+                            max_cuts: int = 12) -> dict[int, "_AdderRelation"]:
+    """All adders' polarity relations in one batch (``engine="fast"``).
+
+    One cut sweep restricted to the roots' fan-in cones replaces every
+    per-adder ``node_cuts`` re-derivation; the 2**arity flip search runs
+    as one table comparison over all adders of each arity.  Emission
+    order (and the first-relation-per-sum-root rule) matches the legacy
+    loop exactly.
+    """
+    from repro.aig.fast_cuts import enumerate_cuts_arrays
+
+    core = tree.arrays()
+    count = len(core)
+    relations: dict[int, _AdderRelation] = {}
+    if count == 0:
+        return relations
+    sum_var = core.sum_var.astype(np.int64)
+    carry_var = core.carry_var.astype(np.int64)
+    roots = np.unique(np.concatenate([sum_var, carry_var]))
+    cuts = enumerate_cuts_arrays(
+        aig, k=3, max_cuts=max_cuts, restrict_to=roots.tolist(),
+    )
+    arity = core.leaf_count.astype(np.int64)
+    leaves = core.leaves.astype(np.int64)
+    sum_truth, sum_ok = _truths_over_rows(cuts, sum_var, leaves, arity)
+    carry_truth, carry_ok = _truths_over_rows(cuts, carry_var, leaves, arity)
+
+    flip_bits = np.full(count, -1, dtype=np.int64)
+    sum_flip = np.zeros(count, dtype=np.int64)
+    carry_flip = np.zeros(count, dtype=np.int64)
+    for width in (2, 3):
+        rows = np.flatnonzero((arity == width) & sum_ok & carry_ok)
+        if not len(rows):
+            continue
+        xor_cells, carry_cells, full = _flip_tables(width)
+        c_eq = carry_truth[rows, None] == carry_cells[None, :]
+        c_neq = carry_truth[rows, None] == (carry_cells ^ full)[None, :]
+        x_eq = sum_truth[rows, None] == xor_cells[None, :]
+        x_neq = sum_truth[rows, None] == (xor_cells ^ full)[None, :]
+        ok = (c_eq | c_neq) & (x_eq | x_neq)
+        has = ok.any(axis=1)
+        first = np.argmax(ok, axis=1)  # lowest matching flip combo
+        hit_rows = rows[has]
+        hit_first = first[has]
+        flip_bits[hit_rows] = hit_first
+        picked = np.arange(len(rows))[has]
+        carry_flip[hit_rows] = np.where(c_eq[picked, hit_first], 0, 1)
+        sum_flip[hit_rows] = np.where(x_eq[picked, hit_first], 0, 1)
+
+    leaf_rows = core.leaves.tolist()
+    arity_list = arity.tolist()
+    sums = sum_var.tolist()
+    carries = carry_var.tolist()
+    flips_list = flip_bits.tolist()
+    sflip = sum_flip.tolist()
+    cflip = carry_flip.tolist()
+    for index in range(count):
+        bits = flips_list[index]
+        if bits < 0:
+            continue
+        sv = sums[index]
+        if sv in relations:
+            continue
+        width = arity_list[index]
+        relations[sv] = _AdderRelation(
+            sv, carries[index], tuple(leaf_rows[index][:width]),
+            tuple((bits >> j) & 1 for j in range(width)),
+            sflip[index], cflip[index],
+        )
+    return relations
+
+
 def signature_polynomial(aig: AIG) -> Polynomial:
     """The output word as a polynomial: ``Σ 2^i · out_i``."""
     signature = Polynomial()
@@ -135,28 +274,37 @@ def _maj_poly(x: Polynomial, y: Polynomial, z: Polynomial) -> Polynomial:
 
 
 def verify_multiplier(circuit, mode: str = "adder", tree: AdderTree | None = None,
-                      max_terms: int = 500_000) -> SCAResult:
+                      max_terms: int = 500_000,
+                      engine: str = "fast") -> SCAResult:
     """Verify that a multiplier netlist computes ``a * b``.
 
     ``circuit`` is a :class:`~repro.generators.GeneratedMultiplier` (or any
     object with ``aig``, ``a_literals``, ``b_literals``).  ``mode`` selects
     the naive or adder-aware engine; ``tree`` optionally supplies the adder
     tree (e.g. one recovered by Gamora) instead of exact extraction.
+    ``engine`` selects how slice relations are resolved: ``"fast"`` batches
+    every adder through one shared cut sweep, ``"legacy"`` keeps the
+    per-adder loop as the differential oracle.
 
     Raises :class:`TermExplosion` when the signature outgrows ``max_terms``
     — the expected behavior of the naive engine on non-trivial widths.
     """
     if mode not in ("adder", "naive"):
         raise ValueError(f"unknown SCA mode {mode!r}")
+    if engine not in ("fast", "legacy"):
+        raise ValueError(f"engine must be 'fast' or 'legacy', got {engine!r}")
     aig: AIG = circuit.aig
     relations: dict[int, _AdderRelation] = {}
     if mode == "adder":
         if tree is None:
             tree = extract_adder_tree(aig)
-        for adder in tree.adders:
-            relation = _resolve_relation(aig, adder)
-            if relation is not None and relation.sum_var not in relations:
-                relations[relation.sum_var] = relation
+        if engine == "fast":
+            relations = _resolve_relations_fast(aig, tree)
+        else:
+            for adder in tree.adders:
+                relation = _resolve_relation(aig, adder)
+                if relation is not None and relation.sum_var not in relations:
+                    relations[relation.sum_var] = relation
 
     # Substitution order: reverse topological, but each carry root is
     # processed immediately after its sum root so the -2*carry term

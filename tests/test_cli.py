@@ -113,7 +113,10 @@ class TestBatchReason:
         first = capsys.readouterr().out
         assert "loaded 0 entries" in first
         assert "saved 1 new entries" in first
+        assert "graph cache: loaded 0 entries" in first
+        assert "graph cache: saved 1 new entries" in first
         assert list(cache_dir.glob("*.npz"))
+        assert list((cache_dir / "graphs").glob("*.npz"))
         # Second run = new process in real life: everything served from disk.
         assert main([
             "batch-reason", str(trained_model), str(netlist),
@@ -123,6 +126,8 @@ class TestBatchReason:
         assert "loaded 1 entries" in second
         assert "result_hits=1" in second
         assert "saved 0 new entries" in second
+        assert "graph cache: loaded 1 entries" in second
+        assert "graph cache: saved 0 new entries" in second
 
     def test_batch_reason_unusable_cache_dir_is_clean_error(self, trained_model,
                                                             tmp_path, capsys):

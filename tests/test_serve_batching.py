@@ -150,6 +150,17 @@ class TestServiceCaching:
         with pytest.raises(ValueError):
             outcome.labels["root"][0] = 99
 
+    def test_cached_extraction_arrays_are_frozen(self, gamora):
+        """The v3 payload's array-core tree aliases the cache exactly like
+        the labels do: its columns must reject mutation too."""
+        service = ReasoningService(gamora)
+        outcome = service.reason_many([csa_multiplier(4)])[0]
+        core = outcome.extraction.tree.arrays()
+        with pytest.raises(ValueError):
+            core.sum_var[0] = 5
+        with pytest.raises(ValueError):
+            core.leaves[0, 0] = 5
+
     def test_labels_writable_when_result_cache_disabled(self, gamora):
         """Writability parity with the sequential path (regression).
 

@@ -295,7 +295,12 @@ class TestPersistentResultCache:
         # Same model: a fresh service reloads and serves hits.
         twin = ReasoningService(gamora)
         assert twin.load_result_cache(spill) == 1
-        assert twin.reason_many([ZOO[0]()]).stats.result_hits == 1
+        reloaded = twin.reason_many([ZOO[0]()])
+        assert reloaded.stats.result_hits == 1
+        # Disk-reloaded payloads re-acquire the frozen invariant for the
+        # array-core tree, not just the labels (pickling drops the flag).
+        with pytest.raises(ValueError):
+            reloaded[0].extraction.tree.arrays().sum_var[0] = 5
         # Different weights (fresh untrained net): refuse to load...
         other = ReasoningService(Gamora(model="shallow"))
         assert other.load_result_cache(spill) == 0
@@ -333,6 +338,63 @@ class TestPersistentResultCache:
         assert (noted / "precious.npz").read_bytes() == b"experiment data"
         assert (noted / "MODEL.tag").read_text() == "my experiment notes\n"
         assert ReasoningService.validate_cache_dir(noted) is not None
+
+
+class TestPersistentGraphCache:
+    def test_round_trip_restores_hit_rate(self, gamora, tmp_path):
+        service = ReasoningService(gamora)
+        service.reason_many([ZOO[0](), ZOO[1]()])
+        spill = tmp_path / "graphs"
+        assert service.save_graph_cache(spill) == 2
+        # A fresh service preloads the encodings: the batch re-encodes
+        # nothing (graph hits for every unique circuit).
+        twin = ReasoningService(gamora)
+        assert twin.load_graph_cache(spill) == 2
+        stats = twin.reason_many([ZOO[0](), ZOO[1]()]).stats
+        assert stats.graph_hits == 2
+        assert stats.graph_misses == 0
+        # Repeated saves are incremental: nothing new to write.
+        assert service.save_graph_cache(spill) == 0
+
+    def test_loaded_encodings_serve_identical_outcomes(self, gamora,
+                                                       sequential_memo,
+                                                       tmp_path):
+        service = ReasoningService(gamora)
+        service.reason_many([ZOO[2]()])
+        spill = tmp_path / "graphs"
+        service.save_graph_cache(spill)
+        twin = ReasoningService(gamora)
+        twin.load_graph_cache(spill)
+        assert_outcome_equal(twin.reason_many([ZOO[2]()])[0],
+                             sequential_memo(2))
+
+    def test_rejects_other_encodings(self, gamora, tmp_path):
+        """Encodings depend on feature_mode/direction — a spill written
+        under a different encoding must load nothing; a retrained model
+        with the same encoding must still load it."""
+        service = ReasoningService(gamora)
+        service.reason_many([ZOO[0]()])
+        spill = tmp_path / "graphs"
+        assert service.save_graph_cache(spill) == 1
+        other = ReasoningService(
+            Gamora(model="shallow", feature_mode="structural"))
+        assert other.load_graph_cache(spill) == 0
+        assert len(other.graph_cache) == 0
+        # Same encoding, different (untrained) weights: graphs stay valid.
+        retrained = ReasoningService(Gamora(model="shallow"))
+        assert retrained.load_graph_cache(spill) == 1
+
+    def test_never_touches_foreign_directories(self, gamora, tmp_path):
+        service = ReasoningService(gamora)
+        service.reason_many([ZOO[0]()])
+        foreign = tmp_path / "datasets"
+        foreign.mkdir()
+        keep = foreign / "irreplaceable.npz"
+        keep.write_bytes(b"user data, not ours")
+        with pytest.raises(OSError, match="refusing"):
+            service.save_graph_cache(foreign)
+        assert keep.read_bytes() == b"user data, not ours"
+        assert ReasoningService.validate_graph_cache_dir(foreign) is not None
 
 
 class TestAdaptiveWorkerSizing:
