@@ -1,0 +1,155 @@
+"""Sustained-load benchmark for the always-on serving daemon.
+
+Four client threads hammer one in-process :class:`GamoraDaemon` with a
+mixed request stream drawn from a small structure pool (heavy repetition,
+like real traffic).  The daemon's cross-request micro-batching is the
+thing under test: arrivals inside one ``batch_window_ms`` coalesce into a
+single ``reason_many`` call, where structural-hash dedup collapses
+identical circuits across clients and the warm result LRU serves repeats
+outright.
+
+Reported: request throughput, mean/worst queue wait, the coalescing
+ratio (requests per micro-batch), and how many forward passes the whole
+stream actually cost.  Asserted: every response matches the sequential
+path, micro-batching genuinely happened (batches < requests), and dedup
+kept forward passes strictly below the request count.  The JSON record
+lands in ``benchmarks/results/BENCH_daemon.json`` for trajectory plots.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from common import (
+    FULL,
+    bench_multiplier,
+    emit,
+    emit_json,
+    format_table,
+    keep_under_benchmark_only,
+    trained_gamora,
+)
+from repro.serve import GamoraDaemon
+from repro.utils.timing import format_seconds
+
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 16 if FULL else 6
+# Small pool, heavy repetition: the regime micro-batching is built for.
+POOL_WIDTHS = (8, 10, 12)
+WINDOW_MS = 25.0
+
+
+@pytest.fixture(scope="module")
+def daemon_run():
+    gamora = trained_gamora(train_widths=(8,))
+    pool = [bench_multiplier(width).aig for width in POOL_WIDTHS]
+    expected = [gamora.reason(aig) for aig in pool]
+
+    stats_by_client: list[list] = [[] for _ in range(CLIENTS)]
+    mismatches = []
+    barrier = threading.Barrier(CLIENTS)
+
+    with GamoraDaemon(gamora, batch_window_ms=WINDOW_MS,
+                      max_batch=64) as daemon:
+        def client(client_id: int) -> None:
+            barrier.wait()
+            for index in range(REQUESTS_PER_CLIENT):
+                which = (client_id + index) % len(pool)
+                outcome, stats = daemon.submit(pool[which])
+                stats_by_client[client_id].append(stats)
+                want = expected[which]
+                if (outcome.tree.num_full_adders != want.tree.num_full_adders
+                        or outcome.num_mismatches != want.num_mismatches):
+                    mismatches.append((client_id, index))
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(CLIENTS)]
+        from repro.utils.timing import Timer
+        with Timer() as wall:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        snapshot = daemon.scheduler.stats()
+
+    return {
+        "wall_seconds": wall.elapsed,
+        "scheduler": snapshot,
+        "per_request": [s for client in stats_by_client for s in client],
+        "mismatches": mismatches,
+    }
+
+
+def test_daemon_sustained_load(daemon_run, benchmark):
+    """Coalescing + dedup under concurrent clients, answers unchanged."""
+    keep_under_benchmark_only(benchmark)
+    snapshot = daemon_run["scheduler"]
+    per_request = daemon_run["per_request"]
+    total = CLIENTS * REQUESTS_PER_CLIENT
+
+    assert daemon_run["mismatches"] == []
+    assert snapshot["completed"] == total
+    assert snapshot["failed"] == 0 and snapshot["rejected"] == 0
+    # Micro-batching happened: strictly fewer batches than requests, and
+    # dedup + the warm cache kept forward passes below the request count.
+    assert snapshot["batches"] < total
+    assert snapshot["num_shards"] < total
+    assert snapshot["max_coalesced"] > 1
+
+    waits = [s.queue_wait_seconds for s in per_request]
+    throughput = total / max(daemon_run["wall_seconds"], 1e-9)
+    coalescing = total / max(snapshot["batches"], 1)
+    emit(
+        "daemon_serve",
+        format_table(
+            f"Daemon sustained load ({CLIENTS} clients x "
+            f"{REQUESTS_PER_CLIENT} requests, {len(POOL_WIDTHS)} unique "
+            f"structures, window {WINDOW_MS:.0f}ms)",
+            ["metric", "value"],
+            [
+                ["wall time", format_seconds(daemon_run["wall_seconds"])],
+                ["throughput", f"{throughput:.1f} req/s"],
+                ["micro-batches", snapshot["batches"]],
+                ["coalescing ratio", f"{coalescing:.2f} req/batch"],
+                ["forward passes", snapshot["num_shards"]],
+                ["cache hits", snapshot["result_hits"]],
+                ["mean queue wait", format_seconds(sum(waits) / len(waits))],
+                ["max queue wait", format_seconds(max(waits))],
+            ],
+        ),
+    )
+    emit_json(
+        "BENCH_daemon",
+        {
+            "benchmark": "daemon_serve",
+            "full": FULL,
+            "clients": CLIENTS,
+            "requests": total,
+            "unique_structures": len(POOL_WIDTHS),
+            "window_ms": WINDOW_MS,
+            "wall_seconds": daemon_run["wall_seconds"],
+            "throughput_rps": throughput,
+            "batches": snapshot["batches"],
+            "coalescing_ratio": coalescing,
+            "forward_passes": snapshot["num_shards"],
+            "result_hits": snapshot["result_hits"],
+            "mean_queue_wait_seconds": sum(waits) / len(waits),
+            "max_queue_wait_seconds": max(waits),
+        },
+    )
+
+
+def test_daemon_kernel(benchmark):
+    """Representative kernel: one coalesced micro-batch through the daemon."""
+    gamora = trained_gamora(train_widths=(8,))
+    pool = [bench_multiplier(width).aig for width in POOL_WIDTHS]
+
+    def run():
+        with GamoraDaemon(gamora, batch_window_ms=5.0,
+                          result_cache_size=0) as daemon:
+            tickets = [daemon.submit_async(aig) for aig in pool * 2]
+            return [ticket.result(120) for ticket in tickets]
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

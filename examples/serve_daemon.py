@@ -1,0 +1,102 @@
+"""Always-on serving daemon: concurrent clients, one shared micro-batch.
+
+Demonstrates the daemon layer on top of :class:`repro.serve.ReasoningService`:
+
+* ``GamoraDaemon`` — a persistent scheduler thread coalesces whatever
+  arrived within ``batch_window_ms`` into one ``reason_many`` call, so
+  structural-hash dedup collapses identical circuits *across clients*;
+* ``DaemonClient`` — the in-process protocol client (the Unix-socket
+  server speaks exactly the same JSON messages);
+* per-request stats — queue wait, micro-batch id, shard assignment,
+  cache hits (also written to ``run_dir/<request_id>/stats.json``);
+* admission control — beyond ``max_queue_depth`` waiting requests the
+  daemon fast-fails with a retriable ``queue_full`` error;
+* warm restarts — ``cache_dir`` spills both caches on shutdown and
+  preloads them on the next start, so a restarted daemon serves repeat
+  structures from cache without a single forward pass.
+
+Run with::
+
+    PYTHONPATH=src python examples/serve_daemon.py
+"""
+
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.core import Gamora
+from repro.generators import csa_multiplier
+from repro.learn import TrainConfig
+from repro.serve import DaemonClient, GamoraDaemon, QueueFullError
+
+
+def main() -> None:
+    print("training a shallow Gamora on an 8-bit CSA multiplier ...")
+    gamora = Gamora(model="shallow", train_config=TrainConfig(epochs=150))
+    gamora.fit([csa_multiplier(8)])
+
+    workdir = Path(tempfile.mkdtemp(prefix="gamora-daemon-"))
+    cache_dir = workdir / "cache"
+    run_dir = workdir / "runs"
+
+    # Six concurrent clients, three unique designs: the regime the daemon
+    # is built for — cross-request dedup inside one micro-batch.
+    pool = [csa_multiplier(w).aig for w in (8, 12, 16)]
+    print(f"\nstarting daemon (cache: {cache_dir})")
+    with GamoraDaemon(gamora, batch_window_ms=100, cache_dir=cache_dir,
+                      run_dir=run_dir) as daemon:
+        client = DaemonClient(daemon)
+        responses = [None] * 6
+
+        def fire(index: int) -> None:
+            responses[index] = client.reason(pool[index % len(pool)],
+                                             request_id=f"client-{index}")
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        print("\nper-request view (6 clients, 3 unique structures):")
+        for response in responses:
+            stats = response["stats"]
+            result = response["result"]
+            print(f"  {response['id']}: {result['num_full_adders']} FA, "
+                  f"{result['num_half_adders']} HA | batch "
+                  f"#{stats['batch_id']} of {stats['batch_size']}, "
+                  f"shard {stats['shard_index']}, "
+                  f"waited {stats['queue_wait_seconds'] * 1e3:.1f}ms")
+
+        snapshot = daemon.scheduler.stats()
+        print(f"\ncoalescing: {snapshot['accepted']} requests -> "
+              f"{snapshot['batches']} micro-batch(es) -> "
+              f"{snapshot['num_shards']} forward pass(es)")
+        print(f"per-request stats files: {sorted(p.name for p in run_dir.iterdir())}")
+
+        # Admission control: a tiny queue rejects the overflow retriably.
+        tight = GamoraDaemon(gamora, batch_window_ms=5000, max_queue_depth=1)
+        tight.start()
+        tight.submit_async(pool[0])
+        try:
+            tight.submit_async(pool[1])
+        except QueueFullError as error:
+            print(f"\nbackpressure: {error} (retriable={error.retriable})")
+        tight.close()
+
+    print(f"\ndaemon stopped; spilled {daemon.saved_results} results + "
+          f"{daemon.saved_graphs} graphs")
+
+    # A restarted daemon preloads the spill: repeats cost zero inference.
+    with GamoraDaemon(gamora, batch_window_ms=1,
+                      cache_dir=cache_dir) as reborn:
+        print(f"restarted daemon preloaded {reborn.loaded_results} results, "
+              f"{reborn.loaded_graphs} graphs")
+        outcome, stats = reborn.submit(pool[0])
+        print(f"repeat request: cache hit={stats.result_hit}, "
+              f"{outcome.tree.num_full_adders} FA, report depth "
+              f"{len(outcome.report.ranks)} — no forward pass needed")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,9 @@ Subcommands cover the release's day-to-day flows:
 * ``reason``  — run a trained model over a netlist and report the tree;
 * ``batch-reason`` — reason over many netlists in one batched forward pass
   (block-diagonal merge + structural-hash caching) with per-stage timing;
+* ``serve``   — always-on daemon over a Unix socket: concurrent requests
+  coalesce into micro-batches, caches stay warm across requests and
+  (via ``--cache-dir``) across restarts;
 * ``map``     — technology-map a netlist and report cell statistics;
 * ``cec``     — equivalence-check two netlists;
 * ``verify``  — SCA-verify a generated multiplier.
@@ -92,6 +95,46 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--engine", choices=["fast", "legacy"], default="fast",
                        help="post-processing engine (results cached per "
                             "engine)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="always-on reasoning daemon over a Unix socket",
+    )
+    serve.add_argument("model")
+    serve.add_argument("--socket", default="gamora.sock",
+                       help="Unix domain socket path to listen on")
+    serve.add_argument("--batch-window-ms", type=float, default=5.0,
+                       help="how long the scheduler waits after the first "
+                            "queued request to coalesce concurrent arrivals "
+                            "into one micro-batch")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="largest micro-batch (dispatches early when hit)")
+    serve.add_argument("--max-queue-depth", type=int, default=128,
+                       help="admission limit; beyond it requests fast-fail "
+                            "with a retriable queue_full error")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persistent cache directory: warm results and "
+                            "encoded graphs (under graphs/) are preloaded "
+                            "on startup and spilled on shutdown")
+    serve.add_argument("--run-dir", default=None,
+                       help="write per-request stats to "
+                            "<run-dir>/<request-id>/stats.json")
+    serve.add_argument("--graph-cache", type=int, default=256,
+                       help="encoded-graph LRU capacity (0 disables)")
+    serve.add_argument("--result-cache", type=int, default=512,
+                       help="reasoning-result LRU capacity (0 disables)")
+    serve.add_argument("--max-shard-bytes", type=int, default=None,
+                       help="memory budget per block-diagonal shard "
+                            "(default: one monolithic pass per micro-batch)")
+    serve.add_argument("--postprocess-workers", type=int, default=None,
+                       help="worker processes for post-processing (default: "
+                            "auto-size per batch; 0 forces in-process)")
+    serve.add_argument("--engine", choices=["fast", "legacy"], default="fast",
+                       help="default post-processing engine for requests "
+                            "that do not choose one")
+    serve.add_argument("--no-report", action="store_true",
+                       help="skip the batched word-level report (responses "
+                            "carry report: null)")
 
     tmap = sub.add_parser("map", help="technology-map a netlist")
     tmap.add_argument("netlist")
@@ -186,6 +229,40 @@ def _cmd_reason(args) -> int:
     return 0
 
 
+def _check_cache_dir(cache_dir: str, command: str) -> str | None:
+    """Fail-fast precheck for a persistent cache directory.
+
+    Ownership first (the same rule ``save_result_cache`` enforces — a
+    directory the service would refuse must not even be touched by the
+    writability probe), then an actual write probe, because
+    ``mkdir(exist_ok=True)`` succeeds on an existing read-only dir and
+    the failure must surface before any work runs, not after.  Returns
+    the one-line error already printed to stderr, or ``None`` when the
+    directory is usable.  Shared by ``batch-reason`` and ``serve`` so
+    the two flows can never drift.
+    """
+    from repro.serve import ReasoningService
+
+    error = ReasoningService.validate_cache_dir(cache_dir)
+    if error is None:
+        error = ReasoningService.validate_graph_cache_dir(
+            Path(cache_dir) / "graphs"
+        )
+    if error is None:
+        try:
+            cache_path = Path(cache_dir)
+            cache_path.mkdir(parents=True, exist_ok=True)
+            probe = cache_path / f".probe.{os.getpid()}"
+            probe.touch()
+            probe.unlink()
+        except OSError as os_error:
+            error = str(os_error)
+    if error is not None:
+        print(f"{command}: cannot use cache dir {cache_dir}: {error}",
+              file=sys.stderr)
+    return error
+
+
 def _cmd_batch_reason(args) -> int:
     from repro.core import Gamora
     from repro.serve import ReasoningService
@@ -194,35 +271,9 @@ def _cmd_batch_reason(args) -> int:
     if not args.netlists:
         print("batch-reason: no netlists given", file=sys.stderr)
         return 2
-    if args.cache_dir:
-        # Fail fast on an unusable cache location — unwritable path, or a
-        # directory the service would refuse to own (foreign data): the
-        # same rule save_result_cache enforces, checked before the batch
-        # spends any time.
-        # Ownership first: a directory the service would refuse must not
-        # even be touched by the writability probe below.
-        error = ReasoningService.validate_cache_dir(args.cache_dir)
-        if error is None:
-            error = ReasoningService.validate_graph_cache_dir(
-                Path(args.cache_dir) / "graphs"
-            )
-        if error is not None:
-            print(f"batch-reason: cannot use cache dir {args.cache_dir}: "
-                  f"{error}", file=sys.stderr)
-            return 2
-        try:
-            cache_path = Path(args.cache_dir)
-            cache_path.mkdir(parents=True, exist_ok=True)
-            # mkdir(exist_ok=True) succeeds on an existing read-only dir;
-            # probe actual writability so the failure surfaces now, not
-            # after the whole batch has run.
-            probe = cache_path / f".probe.{os.getpid()}"
-            probe.touch()
-            probe.unlink()
-        except OSError as error:
-            print(f"batch-reason: cannot use cache dir {args.cache_dir}: "
-                  f"{error}", file=sys.stderr)
-            return 2
+    if args.cache_dir and _check_cache_dir(args.cache_dir,
+                                           "batch-reason") is not None:
+        return 2
     gamora = Gamora.load(args.model)
     aigs = []
     for path in args.netlists:
@@ -280,6 +331,62 @@ def _cmd_batch_reason(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.core import Gamora
+    from repro.serve import DaemonServer, GamoraDaemon
+
+    if args.cache_dir and _check_cache_dir(args.cache_dir,
+                                           "serve") is not None:
+        return 2
+    gamora = Gamora.load(args.model)
+    daemon = GamoraDaemon(
+        gamora,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        max_queue_depth=args.max_queue_depth,
+        cache_dir=args.cache_dir,
+        run_dir=args.run_dir,
+        graph_cache_size=args.graph_cache,
+        result_cache_size=args.result_cache,
+        max_shard_bytes=args.max_shard_bytes,
+        postprocess_workers=args.postprocess_workers,
+        engine=args.engine,
+        with_report=not args.no_report,
+    )
+    daemon.start()
+    if args.cache_dir:
+        print(f"warm caches: {daemon.loaded_results} results, "
+              f"{daemon.loaded_graphs} graphs from {args.cache_dir}")
+    server = DaemonServer(daemon, args.socket)
+    server.start()
+    print(f"serving on {args.socket} "
+          f"(window {args.batch_window_ms:.1f}ms, max batch "
+          f"{args.max_batch}, queue depth {args.max_queue_depth})",
+          flush=True)
+    try:
+        # Returns when a client sends {"op": "shutdown"}; Ctrl-C works too.
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    finally:
+        server.close()
+        daemon.close()
+    snapshot = daemon.stats()["scheduler"]
+    print(f"served {snapshot['completed']} requests in "
+          f"{snapshot['batches']} micro-batches "
+          f"({snapshot['result_hits']} cache hits, "
+          f"{snapshot['rejected']} rejected, "
+          f"{snapshot['num_shards']} forward passes)")
+    if args.cache_dir:
+        if daemon.spill_error is not None:
+            print(f"serve: cache spill failed: {daemon.spill_error}",
+                  file=sys.stderr)
+            return 2
+        print(f"spilled {daemon.saved_results} new results, "
+              f"{daemon.saved_graphs} new graphs to {args.cache_dir}")
+    return 0
+
+
 def _cmd_map(args) -> int:
     from repro.techmap import asap7_like, map_aig, mcnc_reduced, netlist_to_aig
 
@@ -324,6 +431,7 @@ _HANDLERS = {
     "train": _cmd_train,
     "reason": _cmd_reason,
     "batch-reason": _cmd_batch_reason,
+    "serve": _cmd_serve,
     "map": _cmd_map,
     "cec": _cmd_cec,
     "verify": _cmd_verify,

@@ -28,6 +28,7 @@ from repro.core.postprocess import PredictedExtraction, extract_from_predictions
 from repro.learn.data import GraphData, build_graph_data
 from repro.learn.model import GamoraNet, ModelConfig, deep_config, shallow_config
 from repro.learn.trainer import TrainConfig, evaluate_model, predict_labels, train_model
+from repro.reasoning.wordlevel import WordLevelReport
 from repro.utils.timing import Timer
 
 __all__ = ["Gamora", "ReasoningOutcome"]
@@ -35,12 +36,22 @@ __all__ = ["Gamora", "ReasoningOutcome"]
 
 @dataclass
 class ReasoningOutcome:
-    """Everything :meth:`Gamora.reason` produces for one netlist."""
+    """Everything :meth:`Gamora.reason` produces for one netlist.
+
+    ``report`` is filled only by the batched serving path when asked
+    (``reason_many(..., with_report=True)`` — one concatenated
+    word-level pass per batch); ``shard_index`` records which
+    block-diagonal shard ran this circuit's forward pass (``None`` when
+    the outcome was served from the result cache or came from the
+    sequential path).
+    """
 
     extraction: PredictedExtraction
     labels: dict[str, np.ndarray]
     inference_seconds: float
     postprocess_seconds: float
+    report: "WordLevelReport | None" = None
+    shard_index: int | None = None
 
     @property
     def tree(self):
@@ -155,7 +166,7 @@ class Gamora:
                     correct_lsb: bool = True, lsb_outputs: int = 4,
                     max_shard_bytes: int | None = None,
                     postprocess_workers: int | None = None,
-                    engine: str = "fast"):
+                    engine: str = "fast", with_report: bool = False):
         """Batched :meth:`reason` over many circuits via the serving layer.
 
         Circuits are deduplicated by structural hash, encoded through an
@@ -182,7 +193,7 @@ class Gamora:
             correct_lsb=correct_lsb, lsb_outputs=lsb_outputs,
             max_shard_bytes=max_shard_bytes,
             postprocess_workers=postprocess_workers,
-            engine=engine,
+            engine=engine, with_report=with_report,
         )
 
     def predict_many(self, circuits) -> list[dict[str, np.ndarray]]:

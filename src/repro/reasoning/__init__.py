@@ -24,6 +24,7 @@ from repro.reasoning.adder_tree import (
 from repro.reasoning.wordlevel import (
     WordLevelReport,
     analyze_adder_tree,
+    analyze_adder_trees,
     compare_adder_trees,
     partial_product_leaves,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "ground_truth_labels",
     "WordLevelReport",
     "analyze_adder_tree",
+    "analyze_adder_trees",
     "compare_adder_trees",
     "partial_product_leaves",
 ]

@@ -9,9 +9,30 @@ post-processing out to worker processes (``postprocess_workers``, via
 :class:`repro.serve.workers.PostprocessPool`) overlapped with the next
 shard's forward pass.  See :mod:`repro.serve.service` for the pipeline and
 caching semantics.
+
+On top of the batch service sits the always-on daemon
+(:mod:`repro.serve.daemon`): ``GamoraDaemon`` keeps the caches warm
+across requests (and across restarts, via the persistent spill),
+``MicroBatchScheduler`` (:mod:`repro.serve.scheduler`) coalesces
+concurrent requests into shared ``reason_many`` micro-batches, and
+``DaemonServer``/``SocketDaemonClient`` speak line-delimited JSON over a
+Unix domain socket (``python -m repro serve``).
 """
 
 from repro.serve.cache import StructuralHashCache, exact_fingerprint
+from repro.serve.daemon import (
+    DaemonClient,
+    DaemonServer,
+    GamoraDaemon,
+    SocketDaemonClient,
+)
+from repro.serve.scheduler import (
+    MicroBatchScheduler,
+    QueueFullError,
+    RequestStats,
+    RequestTicket,
+    SchedulerClosedError,
+)
 from repro.serve.service import BatchReasoningOutcome, BatchStats, ReasoningService
 from repro.serve.sharding import Shard, ShardPlan, plan_shards
 from repro.serve.workers import PostprocessPool, fork_available, resolve_workers
@@ -28,4 +49,13 @@ __all__ = [
     "PostprocessPool",
     "fork_available",
     "resolve_workers",
+    "MicroBatchScheduler",
+    "QueueFullError",
+    "RequestStats",
+    "RequestTicket",
+    "SchedulerClosedError",
+    "GamoraDaemon",
+    "DaemonClient",
+    "DaemonServer",
+    "SocketDaemonClient",
 ]

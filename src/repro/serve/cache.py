@@ -21,6 +21,13 @@ fingerprint-named ``.npz`` files (one per entry, pickled payload wrapped in
 uint8 arrays), so a service restart keeps its steady-state hit rate.  The
 directory is trusted input — loading unpickles it; point it only at
 directories this service wrote.
+
+Thread safety: every path that touches the ``OrderedDict`` or the counters
+holds an internal :class:`threading.RLock` — ``move_to_end``/``popitem``
+racing from two daemon threads would otherwise corrupt the LRU order, and
+``get_or_build`` holds the lock across the builder so a key is never built
+twice concurrently (the second thread blocks and then hits).  The lock is
+reentrant so a builder that consults the same cache cannot deadlock.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 from collections import OrderedDict
 from collections.abc import Callable, Iterator
 from pathlib import Path
@@ -77,13 +85,15 @@ class StructuralHashCache:
     def __init__(self, capacity: int = 128) -> None:
         self.capacity = capacity
         self._entries: OrderedDict[Any, tuple[str, Any]] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.fingerprint_conflicts = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def contains(self, key: Any, fingerprint: str) -> bool:
         """Whether :meth:`get` would hit, without touching counters or LRU order.
@@ -94,48 +104,68 @@ class StructuralHashCache:
         exactly the membership/lookup divergence this replaces (the old
         ``in`` operator checked the key alone).
         """
-        entry = self._entries.get(key)
-        return entry is not None and entry[0] == fingerprint
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and entry[0] == fingerprint
 
     def get(self, key: Any, fingerprint: str) -> Any | None:
         """Return the cached value, or None on a miss (counted)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        stored_fingerprint, value = entry
-        if stored_fingerprint != fingerprint:
-            self.misses += 1
-            self.fingerprint_conflicts += 1
-            return None
-        self.hits += 1
-        self._entries.move_to_end(key)
-        return value
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            stored_fingerprint, value = entry
+            if stored_fingerprint != fingerprint:
+                self.misses += 1
+                self.fingerprint_conflicts += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return value
 
     def put(self, key: Any, fingerprint: str, value: Any) -> None:
         """Insert/replace an entry, evicting the least recently used."""
         if self.capacity <= 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = (fingerprint, value)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (fingerprint, value)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def get_or_build(self, key: Any, fingerprint: str,
                      builder: Callable[[], Any]) -> Any:
-        """Cached value if present, else ``builder()`` (stored afterwards)."""
-        value = self.get(key, fingerprint)
-        if value is None:
-            value = builder()
-            self.put(key, fingerprint, value)
-        return value
+        """Cached value if present, else ``builder()`` (stored afterwards).
+
+        The whole lookup-build-store sequence runs under the cache lock:
+        two threads racing the same key serialize, and the loser is served
+        the winner's entry instead of building a duplicate.  Builders for
+        *different* keys also serialize — acceptable because the daemon's
+        scheduler funnels builds through one thread, and correctness
+        (exactly-once builds) is what concurrent callers need here.
+        """
+        with self._lock:
+            value = self.get(key, fingerprint)
+            if value is None:
+                value = builder()
+                self.put(key, fingerprint, value)
+            return value
 
     def items(self) -> Iterator[tuple[Any, str, Any]]:
-        """Iterate ``(key, fingerprint, value)`` without touching counters."""
-        for key, (fingerprint, value) in self._entries.items():
-            yield key, fingerprint, value
+        """Iterate ``(key, fingerprint, value)`` without touching counters.
+
+        Snapshots the entries under the lock first, so iteration is safe
+        against concurrent mutation (the snapshot is what gets iterated).
+        """
+        with self._lock:
+            snapshot = [
+                (key, fingerprint, value)
+                for key, (fingerprint, value) in self._entries.items()
+            ]
+        yield from snapshot
 
     # ------------------------------------------------------------------
     # On-disk persistence
@@ -235,21 +265,23 @@ class StructuralHashCache:
 
     def clear(self) -> None:
         """Drop all entries; counters keep accumulating."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict[str, int]:
         """Counter snapshot for logging and assertions."""
-        return {
-            "size": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "fingerprint_conflicts": self.fingerprint_conflicts,
-        }
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "fingerprint_conflicts": self.fingerprint_conflicts,
+            }
 
     def __repr__(self) -> str:
         return (
-            f"StructuralHashCache(size={len(self._entries)}/{self.capacity}, "
+            f"StructuralHashCache(size={len(self)}/{self.capacity}, "
             f"hits={self.hits}, misses={self.misses})"
         )

@@ -1,0 +1,467 @@
+"""Always-on serving daemon: warm caches + micro-batched reasoning.
+
+:class:`GamoraDaemon` wraps one trained Gamora in a long-lived serving
+process: a :class:`~repro.serve.service.ReasoningService` whose
+structural-hash LRUs stay warm across requests, fed by a
+:class:`~repro.serve.scheduler.MicroBatchScheduler` that coalesces
+concurrent arrivals into single ``reason_many`` calls.  On :meth:`start`
+the daemon preloads both persistent caches from ``cache_dir`` (results at
+the root, encoded graphs under ``graphs/`` — the ``batch-reason`` CLI
+layout, so the two flows share spill directories); on :meth:`close` it
+drains the queue and spills both caches back, so a restarted daemon picks
+up every result the previous life computed.
+
+Three client surfaces, strictest parity between them:
+
+* :class:`DaemonClient` — in-process, for tests/examples/embedding.  It
+  speaks the *same* message dicts as the wire protocol (circuits travel
+  as AIGER text through :func:`~repro.aig.aiger.dumps_aag` /
+  :func:`~repro.aig.aiger.loads_aag`), so anything it observes holds for
+  socket clients too.
+* :class:`DaemonServer` — a Unix-domain-socket front end speaking
+  line-delimited JSON: one request object per line in, one response
+  object per line out.  Connections are handled on their own threads, so
+  concurrent clients coalesce into shared micro-batches.
+* :class:`SocketDaemonClient` — the matching Python client.
+
+Wire protocol (one JSON object per ``\\n``-terminated line)::
+
+    {"op": "reason", "id": "req-1", "netlist": "<AIGER ascii>",
+     "options": {"root_filter": false, "correct_lsb": true,
+                 "lsb_outputs": 4, "engine": "fast"}}
+    {"op": "stats"}
+    {"op": "ping"}
+    {"op": "shutdown"}
+
+Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error":
+{"type": ..., "retriable": ..., "message": ...}}``; a full queue maps to
+``type="queue_full", retriable=true`` so clients can back off and retry.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from pathlib import Path
+
+from repro.aig.aiger import dumps_aag, loads_aag
+from repro.core.api import Gamora, ReasoningOutcome, _as_aig
+from repro.serve.scheduler import (
+    MicroBatchScheduler,
+    QueueFullError,
+    RequestStats,
+    RequestTicket,
+    SchedulerClosedError,
+)
+from repro.serve.service import ReasoningService
+
+__all__ = ["DaemonClient", "DaemonServer", "GamoraDaemon",
+           "SocketDaemonClient"]
+
+# The subdirectory of cache_dir holding the encoded-graph spill — the same
+# layout ``batch-reason --cache-dir`` uses, so a daemon and the one-shot
+# CLI can share a cache directory.
+GRAPHS_SUBDIR = "graphs"
+
+
+class GamoraDaemon:
+    """One trained Gamora behind a micro-batching scheduler, serving forever.
+
+    ``engine`` is the default post-processing engine for requests that do
+    not pick one themselves.  ``with_report=True`` (default) attaches the
+    word-level report to every outcome — computed once per micro-batch by
+    the concatenated ``analyze_adder_trees`` pass and stored in the result
+    cache, so repeat structures get theirs for free.  Use as a context
+    manager, or pair :meth:`start`/:meth:`close` explicitly.
+    """
+
+    def __init__(self, gamora: Gamora, *, batch_window_ms: float = 5.0,
+                 max_batch: int = 32, max_queue_depth: int = 128,
+                 cache_dir: str | Path | None = None,
+                 run_dir: str | Path | None = None,
+                 graph_cache_size: int = 256, result_cache_size: int = 512,
+                 max_shard_bytes: int | None = None,
+                 postprocess_workers: int | None = None,
+                 engine: str = "fast", with_report: bool = True) -> None:
+        self.service = ReasoningService(
+            gamora, graph_cache_size=graph_cache_size,
+            result_cache_size=result_cache_size,
+            max_shard_bytes=max_shard_bytes,
+            postprocess_workers=postprocess_workers,
+        )
+        self.scheduler = MicroBatchScheduler(
+            self.service, batch_window_ms=batch_window_ms,
+            max_batch=max_batch, max_queue_depth=max_queue_depth,
+            run_dir=run_dir, with_report=with_report,
+        )
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.default_engine = engine
+        self.loaded_results = 0
+        self.loaded_graphs = 0
+        self.saved_results = 0
+        self.saved_graphs = 0
+        self.spill_error: str | None = None
+        self._started_at: float | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> "GamoraDaemon":
+        """Warm the caches from ``cache_dir`` and start scheduling."""
+        if self.cache_dir is not None:
+            self.loaded_results = self.service.load_result_cache(
+                self.cache_dir
+            )
+            self.loaded_graphs = self.service.load_graph_cache(
+                self.cache_dir / GRAPHS_SUBDIR
+            )
+        self.scheduler.start()
+        self._started_at = time.monotonic()
+        return self
+
+    def close(self) -> None:
+        """Drain the queue, stop scheduling, spill the caches. Idempotent.
+
+        A failing spill (disk full, permissions) is recorded in
+        ``spill_error`` rather than raised: the drained results were
+        already delivered, and shutdown must complete regardless.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.stop(drain=True)
+        if self.cache_dir is not None:
+            try:
+                self.saved_results = self.service.save_result_cache(
+                    self.cache_dir
+                )
+                self.saved_graphs = self.service.save_graph_cache(
+                    self.cache_dir / GRAPHS_SUBDIR
+                )
+            except OSError as error:
+                self.spill_error = str(error)
+
+    def __enter__(self) -> "GamoraDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def submit_async(self, circuit, request_id: str | None = None,
+                     **options) -> RequestTicket:
+        """Enqueue one circuit (see :meth:`MicroBatchScheduler.submit_async`)."""
+        options.setdefault("engine", self.default_engine)
+        return self.scheduler.submit_async(circuit, request_id, **options)
+
+    def submit(self, circuit, request_id: str | None = None,
+               timeout: float | None = None,
+               **options) -> tuple[ReasoningOutcome, RequestStats]:
+        """Blocking submit: returns ``(outcome, request_stats)``."""
+        ticket = self.submit_async(circuit, request_id, **options)
+        return ticket.result(timeout), ticket.stats(0)
+
+    def stats(self) -> dict:
+        """Daemon-wide counter snapshot (JSON-ready)."""
+        uptime = (time.monotonic() - self._started_at
+                  if self._started_at is not None else 0.0)
+        return {
+            "uptime_seconds": uptime,
+            "scheduler": self.scheduler.stats(),
+            "caches": self.service.cache_stats(),
+            "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+            "loaded_results": self.loaded_results,
+            "loaded_graphs": self.loaded_graphs,
+            "saved_results": self.saved_results,
+            "saved_graphs": self.saved_graphs,
+            "spill_error": self.spill_error,
+        }
+
+    # ------------------------------------------------------------------
+    # Protocol dispatch — shared verbatim by DaemonClient and DaemonServer
+    # so the in-process surface can never drift from the wire.
+    def handle(self, message: dict) -> dict:
+        """Dispatch one protocol message dict to one response dict."""
+        if not isinstance(message, dict):
+            return _error_response(None, "bad_request",
+                                   "message must be a JSON object")
+        request_id = message.get("id")
+        op = message.get("op", "reason")
+        if op == "ping":
+            return {"ok": True, "id": request_id, "pong": True}
+        if op == "stats":
+            return {"ok": True, "id": request_id, "stats": self.stats()}
+        if op == "shutdown":
+            return {"ok": True, "id": request_id, "stats": self.stats()}
+        if op == "reason":
+            return self._handle_reason(message, request_id)
+        return _error_response(request_id, "bad_request",
+                               f"unknown op {op!r}")
+
+    def _handle_reason(self, message: dict, request_id) -> dict:
+        netlist = message.get("netlist")
+        if not isinstance(netlist, str) or not netlist:
+            return _error_response(request_id, "bad_request",
+                                   "missing 'netlist' (AIGER ascii text)")
+        try:
+            aig = loads_aag(netlist, name=str(request_id or "request"))
+        except (ValueError, IndexError) as error:
+            return _error_response(request_id, "bad_request",
+                                   f"unparsable netlist: {error}")
+        options = message.get("options") or {}
+        if not isinstance(options, dict):
+            return _error_response(request_id, "bad_request",
+                                   "'options' must be an object")
+        unknown = set(options) - {"root_filter", "correct_lsb",
+                                  "lsb_outputs", "engine"}
+        if unknown:
+            return _error_response(
+                request_id, "bad_request",
+                f"unknown options: {sorted(unknown)}",
+            )
+        try:
+            outcome, stats = self.submit(
+                aig, str(request_id) if request_id is not None else None,
+                **options,
+            )
+        except QueueFullError as error:
+            return _error_response(request_id, "queue_full", str(error),
+                                   retriable=True)
+        except SchedulerClosedError as error:
+            return _error_response(request_id, "shutting_down", str(error))
+        except Exception as error:
+            return _error_response(request_id, "internal",
+                                   f"{type(error).__name__}: {error}")
+        return {
+            "ok": True,
+            "id": stats.request_id,
+            "result": _outcome_payload(outcome),
+            "stats": stats.to_dict(),
+        }
+
+
+def _error_response(request_id, kind: str, message: str,
+                    retriable: bool = False) -> dict:
+    return {
+        "ok": False,
+        "id": request_id,
+        "error": {"type": kind, "retriable": retriable, "message": message},
+    }
+
+
+def _outcome_payload(outcome: ReasoningOutcome) -> dict:
+    """The JSON-safe result body for one resolved request."""
+    tree = outcome.tree
+    payload = {
+        "num_full_adders": int(tree.num_full_adders),
+        "num_half_adders": int(tree.num_half_adders),
+        "num_mismatches": int(outcome.num_mismatches),
+        "report": None,
+    }
+    report = outcome.report
+    if report is not None:
+        payload["report"] = {
+            "num_full_adders": int(report.num_full_adders),
+            "num_half_adders": int(report.num_half_adders),
+            "num_links": int(report.num_links),
+            "depth": len(report.ranks),
+            "pp_leaves": len(report.pp_leaves),
+            "pi_leaves": len(report.pi_leaves),
+            "output_roots": len(report.output_roots),
+            "summary": report.summary(),
+        }
+    return payload
+
+
+class DaemonClient:
+    """In-process protocol client: same messages, no socket.
+
+    Circuits are serialized to AIGER text and parsed back on the daemon
+    side, exactly like wire traffic — tests exercising this client cover
+    the full protocol path minus the file descriptors.
+    """
+
+    def __init__(self, daemon: GamoraDaemon) -> None:
+        self.daemon = daemon
+
+    def reason(self, circuit, request_id: str | None = None,
+               **options) -> dict:
+        netlist = circuit if isinstance(circuit, str) else dumps_aag(
+            _as_aig(circuit)
+        )
+        message = {"op": "reason", "netlist": netlist}
+        if request_id is not None:
+            message["id"] = request_id
+        if options:
+            message["options"] = options
+        return self.daemon.handle(message)
+
+    def stats(self) -> dict:
+        return self.daemon.handle({"op": "stats"})
+
+    def ping(self) -> dict:
+        return self.daemon.handle({"op": "ping"})
+
+
+class DaemonServer:
+    """Line-delimited JSON over a Unix domain socket.
+
+    One accept thread plus one thread per connection; requests on a
+    single connection are answered in order, while separate connections
+    proceed concurrently (and therefore coalesce in the scheduler).  A
+    ``shutdown`` op answers, then releases :meth:`serve_forever`; closing
+    the server does *not* close the daemon — the caller owns that, so it
+    can spill caches exactly once.
+    """
+
+    def __init__(self, daemon: GamoraDaemon,
+                 socket_path: str | Path) -> None:
+        if not hasattr(socket, "AF_UNIX"):
+            raise RuntimeError("Unix domain sockets unavailable on this "
+                               "platform")
+        self.daemon = daemon
+        self.socket_path = Path(socket_path)
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._shutdown = threading.Event()
+        self._closing = False
+
+    def start(self) -> "DaemonServer":
+        """Bind, listen, and start accepting in the background."""
+        if self._listener is not None:
+            return self
+        # A previous daemon's stale socket file would make bind() fail;
+        # only a socket is ever removed, never a regular file.
+        if self.socket_path.exists() and self.socket_path.is_socket():
+            self.socket_path.unlink()
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(str(self.socket_path))
+        listener.listen()
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="gamora-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self, timeout: float | None = None) -> None:
+        """Block until a ``shutdown`` op arrives (or ``timeout`` elapses)."""
+        self.start()
+        self._shutdown.wait(timeout)
+
+    def close(self) -> None:
+        """Stop accepting and remove the socket file. Idempotent."""
+        self._closing = True
+        self._shutdown.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        try:
+            if self.socket_path.is_socket():
+                self.socket_path.unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "DaemonServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._closing:
+            try:
+                connection, _ = listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._serve_connection, args=(connection,),
+                name="gamora-conn", daemon=True,
+            ).start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        with connection:
+            reader = connection.makefile("r", encoding="utf-8")
+            for line in reader:
+                line = line.strip()
+                if not line:
+                    continue
+                message = None
+                try:
+                    message = json.loads(line)
+                except json.JSONDecodeError as error:
+                    response = _error_response(None, "bad_request",
+                                               f"invalid JSON: {error}")
+                else:
+                    response = self.daemon.handle(message)
+                try:
+                    connection.sendall(
+                        (json.dumps(response) + "\n").encode("utf-8")
+                    )
+                except OSError:
+                    return  # client went away mid-response
+                if isinstance(message, dict) and message.get("op") == "shutdown":
+                    self._shutdown.set()
+                    return
+
+
+class SocketDaemonClient:
+    """Blocking client for :class:`DaemonServer`'s wire protocol."""
+
+    def __init__(self, socket_path: str | Path,
+                 timeout: float | None = 60.0) -> None:
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(str(socket_path))
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+
+    def request(self, message: dict) -> dict:
+        """Send one message dict, block for its one-line response."""
+        self._sock.sendall((json.dumps(message) + "\n").encode("utf-8"))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return json.loads(line)
+
+    def reason(self, circuit, request_id: str | None = None,
+               **options) -> dict:
+        netlist = circuit if isinstance(circuit, str) else dumps_aag(
+            _as_aig(circuit)
+        )
+        message = {"op": "reason", "netlist": netlist}
+        if request_id is not None:
+            message["id"] = request_id
+        if options:
+            message["options"] = options
+        return self.request(message)
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "SocketDaemonClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

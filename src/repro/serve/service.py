@@ -78,6 +78,7 @@ predictions are identical to sequential ones — is enforced by
 from __future__ import annotations
 
 import copy
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -87,6 +88,7 @@ from repro.aig.graph import AIG
 from repro.core.api import Gamora, ReasoningOutcome, _as_aig
 from repro.learn.data import GraphData, batch_graphs, build_graph_data, unbatch_predictions
 from repro.learn.trainer import predict_labels, predict_labels_many
+from repro.reasoning.wordlevel import analyze_adder_trees
 from repro.serve.cache import StructuralHashCache, exact_fingerprint
 from repro.serve.sharding import ShardPlan, plan_shards
 from repro.serve.workers import PostprocessPool
@@ -117,6 +119,7 @@ class BatchStats:
     assemble_seconds: float = 0.0  # block-diagonal merges, summed over shards
     inference_seconds: float = 0.0  # forward passes, summed over shards
     postprocess_seconds: float = 0.0  # summed over unique circuits
+    report_seconds: float = 0.0  # batched word-level analysis (with_report)
     total_seconds: float = 0.0
     num_nodes: int = 0  # total nodes inferred, summed over shards
     num_edges: int = 0
@@ -125,6 +128,8 @@ class BatchStats:
     oversize_shards: int = 0  # lone circuits that exceeded the budget
     postprocess_workers: int = 0  # effective worker processes (0: in-process)
     postprocess_fallbacks: int = 0  # worker failures recovered in-process
+    postprocess_restarts: int = 0  # broken executors replaced mid-batch
+    reports_built: int = 0  # word-level reports computed this call
 
     def summary(self) -> str:
         extra = ""
@@ -246,6 +251,11 @@ class ReasoningService:
         self.max_shard_bytes = max_shard_bytes
         self.postprocess_workers = postprocess_workers
         self._model_fp: str | None = None  # lazy model fingerprint
+        # Guards the lazy fingerprint init: two daemon threads racing the
+        # first save/load would otherwise both digest the full weight
+        # state (harmless but wasteful) or interleave with clear_caches()
+        # resetting it mid-compute.
+        self._model_fp_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def encode(self, circuit) -> GraphData:
@@ -315,7 +325,8 @@ class ReasoningService:
                     correct_lsb: bool = True, lsb_outputs: int = 4,
                     max_shard_bytes=_UNSET,
                     postprocess_workers=_UNSET,
-                    engine: str = "fast") -> BatchReasoningOutcome:
+                    engine: str = "fast",
+                    with_report: bool = False) -> BatchReasoningOutcome:
         """Batched equivalent of calling :meth:`Gamora.reason` per circuit.
 
         Returns one outcome per input circuit (input order preserved) with
@@ -326,6 +337,16 @@ class ReasoningService:
         selects the post-processing implementation (``"fast"`` — the
         vectorized cut sweep + array-shaped pairing — or ``"legacy"``, the
         per-node baseline; results are cached per engine).
+
+        ``with_report=True`` additionally fills each outcome's
+        ``.report`` with its :class:`~repro.reasoning.wordlevel.WordLevelReport`
+        — computed for the *whole batch* in one concatenated
+        :func:`~repro.reasoning.wordlevel.analyze_adder_trees` pass, not
+        one ``analyze_adder_tree`` call per outcome — and stores it in the
+        cached payload, so later hits carry their report for free.  The
+        report is a pure function of the extraction, so it shares the
+        cache entry rather than splitting the options key; an entry cached
+        without a report is upgraded in place on the first reporting hit.
         """
         if max_shard_bytes is _UNSET:
             max_shard_bytes = self.max_shard_bytes
@@ -341,16 +362,21 @@ class ReasoningService:
             outcomes: list[ReasoningOutcome | None] = [None] * len(aigs)
             # First occurrence index of each still-uncached structure.
             pending: dict[tuple[str, str], list[int]] = {}
+            # Cache hits whose stored payload predates with_report.
+            stale_hits: dict[tuple[str, str], list[int]] = {}
             for index, aig in enumerate(aigs):
                 key = _circuit_key(aig)
                 cached = self.result_cache.get((key[0], options), key[1])
                 if cached is not None:
-                    labels, extraction = cached
+                    labels, extraction, report = cached
                     outcomes[index] = ReasoningOutcome(
                         extraction=extraction, labels=labels,
                         inference_seconds=0.0, postprocess_seconds=0.0,
+                        report=report,
                     )
                     stats.result_hits += 1
+                    if with_report and report is None:
+                        stale_hits.setdefault(key, []).append(index)
                 else:
                     pending.setdefault(key, []).append(index)
 
@@ -360,17 +386,48 @@ class ReasoningService:
                     root_filter=root_filter, correct_lsb=correct_lsb,
                     lsb_outputs=lsb_outputs, max_shard_bytes=max_shard_bytes,
                     postprocess_workers=postprocess_workers, engine=engine,
+                    with_report=with_report,
                 )
+
+            if stale_hits:
+                self._backfill_reports(aigs, stale_hits, outcomes, options,
+                                       stats)
 
             stats.unique_circuits = len(pending)
         stats.total_seconds = total_timer.elapsed
         return BatchReasoningOutcome(outcomes, stats)
 
+    def _backfill_reports(self, aigs, stale_hits, outcomes, options,
+                          stats) -> None:
+        """Upgrade report-less cache hits in one batched word-level pass.
+
+        Entries cached by a ``with_report=False`` call carry ``None``; the
+        first reporting call analyzes all of them together and re-puts the
+        payload, so every later hit is served with its report attached.
+        """
+        groups = list(stale_hits.items())
+        with Timer() as report_timer:
+            reports = analyze_adder_trees(
+                (aigs[positions[0]], outcomes[positions[0]].tree)
+                for _, positions in groups
+            )
+        stats.report_seconds += report_timer.elapsed
+        stats.reports_built += len(groups)
+        for (key, positions), report in zip(groups, reports):
+            for position in positions:
+                outcomes[position].report = report
+            first = outcomes[positions[0]]
+            self.result_cache.put(
+                (key[0], options), key[1],
+                (first.labels, first.extraction, report),
+            )
+
     def _reason_pending(self, aigs, pending, outcomes, options, stats, *,
                         root_filter: bool, correct_lsb: bool, lsb_outputs: int,
                         max_shard_bytes: int | None,
                         postprocess_workers: int | None,
-                        engine: str = "fast") -> None:
+                        engine: str = "fast",
+                        with_report: bool = False) -> None:
         """Encode → plan → stream shards → parallel-extract → reassemble."""
         graph_hits_before = self.graph_cache.hits
         with Timer() as encode_timer:
@@ -394,6 +451,7 @@ class ReasoningService:
         handles: list = [None] * len(datas)
         per_labels: list = [None] * len(datas)
         infer_shares: list[float] = [0.0] * len(datas)
+        shard_of: list[int] = [0] * len(datas)  # shard ordinal per circuit
 
         # Workload hints for auto-sizing (postprocess_workers=None): one
         # worker per unique circuit, in-process when the batch is tiny.
@@ -403,7 +461,7 @@ class ReasoningService:
         with PostprocessPool(postprocess_workers, num_payloads=len(pending),
                              total_ands=total_ands) as pool:
             stats.postprocess_workers = pool.workers
-            for shard in plan:
+            for shard_index, shard in enumerate(plan):
                 shard_datas = [datas[i] for i in shard.indices]
                 with Timer() as assemble_timer:
                     merged = (
@@ -426,14 +484,30 @@ class ReasoningService:
                 for data_index, labels in zip(shard.indices, shard_labels):
                     per_labels[data_index] = labels
                     infer_shares[data_index] = share
+                    shard_of[data_index] = shard_index
                     handles[data_index] = pool.submit(
                         aigs[pending[keys[data_index]][0]], labels,
                         root_filter, correct_lsb, lsb_outputs, engine,
                     )
 
+            # Drain every handle first: the batched word-level pass below
+            # needs all extractions, and collection order matches input
+            # order either way.
+            results = [handle.get() for handle in handles]
+            reports: list = [None] * len(keys)
+            if with_report:
+                with Timer() as report_timer:
+                    reports = analyze_adder_trees(
+                        (aigs[pending[key][0]], results[data_index][0].tree)
+                        for data_index, key in enumerate(keys)
+                    )
+                stats.report_seconds += report_timer.elapsed
+                stats.reports_built += len(keys)
+
             store_results = self.result_cache.capacity > 0
             for data_index, key in enumerate(keys):
-                extraction, post_seconds = handles[data_index].get()
+                extraction, post_seconds = results[data_index]
+                report = reports[data_index]
                 stats.postprocess_seconds += post_seconds
                 labels = per_labels[data_index]
                 if store_results:
@@ -447,12 +521,13 @@ class ReasoningService:
                         array.setflags(write=False)
                     _freeze_arrays(extraction)
                     self.result_cache.put(
-                        (key[0], options), key[1], (labels, extraction)
+                        (key[0], options), key[1], (labels, extraction, report)
                     )
                 for slot, position in enumerate(pending[key]):
                     if store_results or slot == 0:
                         outcome_labels = labels
                         outcome_extraction = extraction
+                        outcome_report = report
                     else:
                         # Unfrozen results must not alias between duplicate
                         # outcomes: sequential reason() gives every call its
@@ -462,12 +537,16 @@ class ReasoningService:
                             task: array.copy() for task, array in labels.items()
                         }
                         outcome_extraction = copy.deepcopy(extraction)
+                        outcome_report = copy.deepcopy(report)
                     outcomes[position] = ReasoningOutcome(
                         extraction=outcome_extraction, labels=outcome_labels,
                         inference_seconds=infer_shares[data_index],
                         postprocess_seconds=post_seconds,
+                        report=outcome_report,
+                        shard_index=shard_of[data_index],
                     )
             stats.postprocess_fallbacks = pool.fallbacks
+            stats.postprocess_restarts = pool.restarts
 
     # ------------------------------------------------------------------
     _MODEL_MARKER = "MODEL.tag"
@@ -483,7 +562,10 @@ class ReasoningService:
     # v2: the options key gained the post-processing engine field.
     # v3: the extraction payload carries the array-core AdderTree
     #     (struct-of-arrays slices + candidate rows, lazy detection).
-    _CACHE_FORMAT = _CACHE_FORMAT_FAMILY + "v3"
+    # v4: the payload is a (labels, extraction, report) triple — the
+    #     word-level report computed by the batched with_report path (None
+    #     when the entry was cached by a non-reporting call).
+    _CACHE_FORMAT = _CACHE_FORMAT_FAMILY + "v4"
 
     # The encoded-graph cache persists separately: encodings depend only on
     # the encoding configuration (feature mode / direction), not on the
@@ -547,24 +629,25 @@ class ReasoningService:
         served as hits.  Memoized: a service instance's model is fixed
         (``Gamora.fit`` drops its lazily built service on retrain).
         """
-        if self._model_fp is not None:
-            return self._model_fp
-        import hashlib
-        import json
+        with self._model_fp_lock:
+            if self._model_fp is not None:
+                return self._model_fp
+            import hashlib
+            import json
 
-        digest = hashlib.blake2b(digest_size=16)
-        digest.update(
-            json.dumps(self.gamora.model_config.to_dict(),
-                       sort_keys=True).encode("utf-8")
-        )
-        state = self.gamora.net.state_dict()
-        for name in sorted(state):
-            array = np.ascontiguousarray(state[name])
-            digest.update(name.encode("utf-8"))
-            digest.update(repr((array.shape, array.dtype.str)).encode("ascii"))
-            digest.update(array.tobytes())
-        self._model_fp = digest.hexdigest()
-        return self._model_fp
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(
+                json.dumps(self.gamora.model_config.to_dict(),
+                           sort_keys=True).encode("utf-8")
+            )
+            state = self.gamora.net.state_dict()
+            for name in sorted(state):
+                array = np.ascontiguousarray(state[name])
+                digest.update(name.encode("utf-8"))
+                digest.update(repr((array.shape, array.dtype.str)).encode("ascii"))
+                digest.update(array.tobytes())
+            self._model_fp = digest.hexdigest()
+            return self._model_fp
 
     def _encoding_fingerprint(self) -> str:
         """Digest of everything a :class:`GraphData` encoding depends on.
@@ -707,13 +790,15 @@ class ReasoningService:
         *new* weights, never the pre-retrain digest.
         """
         self.result_cache.clear()
-        self._model_fp = None
+        with self._model_fp_lock:
+            self._model_fp = None
 
     def clear_caches(self) -> None:
         """Drop both caches (encodings and results)."""
         self.graph_cache.clear()
         self.result_cache.clear()
-        self._model_fp = None
+        with self._model_fp_lock:
+            self._model_fp = None
 
     def cache_stats(self) -> dict[str, dict[str, int]]:
         """Counter snapshots of both LRUs."""

@@ -40,18 +40,27 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.core.postprocess import PredictedExtraction, extract_from_predictions
 from repro.utils.timing import Timer
 
 __all__ = ["PostprocessPool", "fork_available", "resolve_workers",
-           "AUTO_MIN_TOTAL_ANDS"]
+           "AUTO_MIN_TOTAL_ANDS", "MAX_EXECUTOR_RESTARTS"]
 
 # Below this many total AND nodes across the batch's unique circuits,
 # auto-sizing stays in-process: the vectorized extractor clears such
 # workloads in well under the cost of forking and pickling results back.
 AUTO_MIN_TOTAL_ANDS = 20_000
+
+# How many times a pool may replace an executor whose workers hard-crashed
+# (OOM-kill, segfault) before giving up on parallel mode for good.  One
+# poisoned payload must not permanently disable parallel post-processing in
+# a long-lived daemon, but a systematically crashing environment (e.g. a
+# cgroup OOM-killing every fork) must not restart forever either.
+MAX_EXECUTOR_RESTARTS = 3
 
 # Test hook: when this environment variable is set, the *worker-side* task
 # fails before extracting — raising for any value, or dying outright
@@ -139,7 +148,12 @@ class PostprocessHandle:
                 # multiprocessing.Pool, never leaves a lost task pending
                 # forever.  Both routes land in the fallback below.
                 self._value = self._future.result()
-            except Exception:
+            except Exception as error:
+                if isinstance(error, BrokenProcessPool):
+                    # The whole executor died, not just this task: flag it
+                    # so the next submit replaces it (bounded) instead of
+                    # falling back in-process forever.
+                    self._pool._note_broken()
                 self._pool.fallbacks += 1
                 self._value = _run_extraction(self._payload)
             self._payload = None  # allow the arrays to be collected
@@ -155,6 +169,14 @@ class PostprocessPool:
     ``num_payloads`` / ``total_ands`` workload hints.  ``parallel`` reports
     which mode is active; ``fallbacks`` counts worker failures that were
     recovered in-process.
+
+    A hard worker crash (OOM-kill, segfault) breaks the whole
+    ``ProcessPoolExecutor``, not just the lost task.  The pool *replaces*
+    a broken executor on the next :meth:`submit` — up to
+    :data:`MAX_EXECUTOR_RESTARTS` times, counted in ``restarts`` — so one
+    poisoned payload costs one fallback, not parallel mode for the rest of
+    the pool's life.  Restarts exhausted (or failing) collapse to
+    in-process permanently, preserving the old behavior as the floor.
     """
 
     def __init__(self, workers: int | None = 0,
@@ -163,40 +185,79 @@ class PostprocessPool:
         self.requested_workers = resolve_workers(workers, num_payloads,
                                                  total_ands)
         self.fallbacks = 0
-        self._executor = None
-        if self.requested_workers > 0 and fork_available():
-            try:
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.requested_workers,
-                    mp_context=multiprocessing.get_context("fork"),
-                )
-            except OSError:
-                self._executor = None
+        self.restarts = 0
+        self._broken = False
+        self._closed = False
+        # submit() and handle.get() normally run on one thread, but the
+        # daemon's drain path may collect handles while a scheduler thread
+        # still submits; the executor swap must not race.
+        self._restart_lock = threading.Lock()
+        self._executor = self._make_executor() if self.requested_workers else None
         self.workers = self.requested_workers if self._executor is not None else 0
+
+    def _make_executor(self) -> ProcessPoolExecutor | None:
+        if self.requested_workers <= 0 or not fork_available():
+            return None
+        try:
+            return ProcessPoolExecutor(
+                max_workers=self.requested_workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        except OSError:
+            return None
+
+    def _note_broken(self) -> None:
+        """Mark the current executor as dead (called from handle fallback)."""
+        self._broken = True
+
+    def _healthy_executor(self) -> ProcessPoolExecutor | None:
+        """The live executor, replacing a broken one within the retry budget."""
+        with self._restart_lock:
+            if not self._broken or self._closed:
+                return self._executor
+            # Replace the broken executor (its pending futures already
+            # resolved as BrokenProcessPool; shutdown just reaps it).
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+            if self.restarts >= MAX_EXECUTOR_RESTARTS:
+                self.workers = 0  # give up on parallel mode for good
+                return None
+            self.restarts += 1
+            self._executor = self._make_executor()
+            self._broken = False
+            if self._executor is None:
+                self.workers = 0
+            return self._executor
 
     @property
     def parallel(self) -> bool:
-        return self._executor is not None
+        return self._executor is not None and not self._broken
 
     def submit(self, aig, labels, root_filter: bool, correct_lsb: bool,
                lsb_outputs: int, engine: str = "fast") -> PostprocessHandle:
         """Queue one extraction; returns a handle to collect it from."""
         payload = (aig, labels, root_filter, correct_lsb, lsb_outputs, engine)
-        if self._executor is None:
+        executor = self._healthy_executor()
+        if executor is None:
             return PostprocessHandle(self, None, value=_run_extraction(payload))
         try:
-            future = self._executor.submit(_worker_task, payload)
+            future = executor.submit(_worker_task, payload)
         except Exception:
-            # e.g. a previous hard crash broke the executor: every later
-            # submit raises immediately; serve it in-process instead.
+            # The executor broke since the health check (a crash can land
+            # at any time).  Flag it for the next submit's restart and
+            # serve this payload in-process.
+            self._note_broken()
             self.fallbacks += 1
             return PostprocessHandle(self, None, value=_run_extraction(payload))
         return PostprocessHandle(self, payload, future=future)
 
     def close(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-            self._executor = None
+        with self._restart_lock:
+            self._closed = True
+            if self._executor is not None:
+                self._executor.shutdown(wait=True, cancel_futures=True)
+                self._executor = None
 
     def __enter__(self) -> "PostprocessPool":
         return self
@@ -206,4 +267,5 @@ class PostprocessPool:
 
     def __repr__(self) -> str:
         mode = f"workers={self.workers}" if self.parallel else "in-process"
-        return f"PostprocessPool({mode}, fallbacks={self.fallbacks})"
+        return (f"PostprocessPool({mode}, fallbacks={self.fallbacks}, "
+                f"restarts={self.restarts})")

@@ -31,6 +31,7 @@ from repro.reasoning import (
     ExtractedAdder,
     XorMajDetection,
     analyze_adder_tree,
+    analyze_adder_trees,
     compare_adder_trees,
     detect_xor_maj,
     extract_adder_tree,
@@ -142,6 +143,50 @@ class TestPipelineDifferential:
         tree = extract_adder_tree(csa4.aig)
         with pytest.raises(ValueError, match="engine"):
             analyze_adder_tree(csa4.aig, tree, engine="warp")
+
+
+class TestBatchedAnalysis:
+    """One concatenated analyze_adder_trees pass == per-tree analysis.
+
+    The serving daemon computes every micro-batch's word-level reports
+    through the merged block-diagonal core; the reports must be exactly
+    the ones per-circuit ``analyze_adder_tree`` would produce.
+    """
+
+    def test_mixed_batch_matches_per_tree(self):
+        items = [(aig, extract_adder_tree(aig)) for aig in family_aigs()]
+        # An adder-free circuit (empty tree) and a duplicate ride along:
+        # both are shapes the daemon's batches routinely contain.
+        plain = AIG()
+        a, b = plain.add_inputs(2)
+        plain.add_output(plain.add_and(a, b))
+        items.append((plain, extract_adder_tree(plain)))
+        items.append(items[1])
+        batched = analyze_adder_trees(items)
+        expected = [analyze_adder_tree(aig, tree) for aig, tree in items]
+        assert batched == expected
+
+    def test_single_item_and_empty_batch(self):
+        aig = csa_multiplier(4).aig
+        tree = extract_adder_tree(aig)
+        assert analyze_adder_trees([(aig, tree)]) == [
+            analyze_adder_tree(aig, tree)
+        ]
+        assert analyze_adder_trees([]) == []
+
+    def test_accepts_generator_input(self):
+        items = [(aig, extract_adder_tree(aig)) for aig in family_aigs()[:2]]
+        assert analyze_adder_trees(iter(items)) == [
+            analyze_adder_tree(aig, tree) for aig, tree in items
+        ]
+
+    def test_legacy_engine_falls_back_per_tree(self):
+        items = [(aig, extract_adder_tree(aig, engine="legacy"))
+                 for aig in family_aigs()[:2]]
+        assert analyze_adder_trees(items, engine="legacy") == [
+            analyze_adder_tree(aig, tree, engine="legacy")
+            for aig, tree in items
+        ]
 
 
 class TestReportDeterminism:
