@@ -148,7 +148,8 @@ def test_sharded_serve_kernel(benchmark):
     circuits = [bench_multiplier(w) for w in (8, 10, 12, 8)]
     encoder = ReasoningService(gamora)
     budget = max(
-        estimate_batch_memory(gamora.net, [encoder.encode(c)]) for c in circuits
+        estimate_batch_memory(gamora.inference_kernel(), [encoder.encode(c)])
+        for c in circuits
     )
 
     def run():

@@ -454,6 +454,31 @@ class AIG:
                 stack.append(self._fanin1[var] >> 1)
         return seen
 
+    def transitive_fanin_array(self, roots: Iterable[int]) -> "object":
+        """:meth:`transitive_fanin` as a sorted int64 variable array.
+
+        A reverse-reachability wavefront over :meth:`fanin_arrays`: each
+        round gathers both fan-in variables of every AND in the frontier
+        in one vectorized step and keeps only the never-seen ones, so the
+        Python-level iteration count is the cone depth, not its size.
+        Same membership as the set-based walk (roots included, PIs and
+        the constant included where reached).
+        """
+        import numpy as np
+
+        seen = np.zeros(self.num_vars, dtype=bool)
+        frontier = np.fromiter(roots, dtype=np.int64)
+        fanin0, fanin1 = self.fanin_arrays()
+        first_and = 1 + self._num_inputs
+        while frontier.size:
+            seen[frontier] = True
+            ands = frontier[frontier >= first_and]
+            if not ands.size:
+                break
+            reached = np.concatenate([fanin0[ands] >> 1, fanin1[ands] >> 1])
+            frontier = np.unique(reached[~seen[reached]])
+        return np.flatnonzero(seen)
+
     def iter_ands(self) -> Iterator[tuple[int, int, int]]:
         """Yield ``(var, fanin0_lit, fanin1_lit)`` for every AND node."""
         for var in self.and_vars():

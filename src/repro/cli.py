@@ -81,6 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--max-shard-bytes", type=int, default=None,
                        help="memory budget per block-diagonal shard "
                             "(default: no sharding, one monolithic pass)")
+    batch.add_argument("--max-window-bytes", type=int, default=None,
+                       help="memory budget per streaming window: netlists "
+                            "too large for any shard run level-windowed "
+                            "under this budget (default: full-graph pass)")
     batch.add_argument("--postprocess-workers", type=int, default=None,
                        help="worker processes for per-netlist post-processing "
                             "(default: auto-size from cpu count and batch "
@@ -126,6 +130,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-shard-bytes", type=int, default=None,
                        help="memory budget per block-diagonal shard "
                             "(default: one monolithic pass per micro-batch)")
+    serve.add_argument("--max-window-bytes", type=int, default=None,
+                       help="memory budget per streaming window: circuits "
+                            "too large for any shard are still admitted and "
+                            "run level-windowed under this budget (default: "
+                            "full-graph pass)")
     serve.add_argument("--postprocess-workers", type=int, default=None,
                        help="worker processes for post-processing (default: "
                             "auto-size per batch; 0 forces in-process)")
@@ -286,6 +295,7 @@ def _cmd_batch_reason(args) -> int:
         gamora, graph_cache_size=args.graph_cache,
         result_cache_size=args.result_cache,
         max_shard_bytes=args.max_shard_bytes,
+        max_window_bytes=args.max_window_bytes,
         postprocess_workers=args.postprocess_workers,
     )
     if args.cache_dir:
@@ -349,6 +359,7 @@ def _cmd_serve(args) -> int:
         graph_cache_size=args.graph_cache,
         result_cache_size=args.result_cache,
         max_shard_bytes=args.max_shard_bytes,
+        max_window_bytes=args.max_window_bytes,
         postprocess_workers=args.postprocess_workers,
         engine=args.engine,
         with_report=not args.no_report,

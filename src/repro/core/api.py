@@ -27,7 +27,7 @@ from repro.aig.graph import AIG
 from repro.core.postprocess import PredictedExtraction, extract_from_predictions
 from repro.learn.data import GraphData, build_graph_data
 from repro.learn.model import GamoraNet, ModelConfig, deep_config, shallow_config
-from repro.learn.trainer import TrainConfig, evaluate_model, predict_labels, train_model
+from repro.learn.trainer import TrainConfig, evaluate_model, train_model
 from repro.reasoning.wordlevel import WordLevelReport
 from repro.utils.timing import Timer
 
@@ -43,7 +43,9 @@ class ReasoningOutcome:
     word-level pass per batch); ``shard_index`` records which
     block-diagonal shard ran this circuit's forward pass (``None`` when
     the outcome was served from the result cache or came from the
-    sequential path).
+    sequential path).  ``streamed`` is True when the forward pass ran
+    window-by-window under a ``max_window_bytes`` budget (labels are
+    bit-identical to the full-graph pass either way).
     """
 
     extraction: PredictedExtraction
@@ -52,6 +54,7 @@ class ReasoningOutcome:
     postprocess_seconds: float
     report: "WordLevelReport | None" = None
     shard_index: int | None = None
+    streamed: bool = False
 
     @property
     def tree(self):
@@ -96,6 +99,7 @@ class Gamora:
         self.net = GamoraNet(config)
         self.history: list[dict] = []
         self._service = None  # lazy ReasoningService for reason_many
+        self._kernel = None  # lazy compiled FastInference (deployment path)
 
     # ------------------------------------------------------------------
     def prepare(self, circuit, with_labels: bool = True,
@@ -123,14 +127,30 @@ class Gamora:
         self.net, self.history = train_model(
             graphs, self.model_config, train_config, model=self.net
         )
-        # Weights changed: any cached reasoning results are stale.
+        # Weights changed: the compiled kernel and any cached reasoning
+        # results are stale.
         self._service = None
+        self._kernel = None
         return self.history
+
+    def inference_kernel(self):
+        """The memoized float32 deployment kernel for the current weights.
+
+        Every serving-path prediction (:meth:`predict`, :meth:`reason`,
+        :meth:`predict_many`, and the batched service) runs through this
+        one snapshot, so sequential, sharded, and streamed answers are
+        bit-identical to each other.  Recompiled lazily after :meth:`fit`.
+        """
+        from repro.learn.fast import compile_inference
+
+        if self._kernel is None:
+            self._kernel = compile_inference(self.net)
+        return self._kernel
 
     def predict(self, circuit) -> dict[str, np.ndarray]:
         """Per-node multi-task label predictions."""
         data = self.prepare(circuit, with_labels=False)
-        return predict_labels(self.net, data)
+        return self.inference_kernel().predict(data.features, data.adjacency)
 
     def evaluate(self, circuit, labels_source: str = "functional") -> dict[str, float]:
         """Reasoning accuracy against exact ground truth."""
@@ -147,8 +167,9 @@ class Gamora:
         """
         aig = _as_aig(circuit)
         data = self.prepare(aig, with_labels=False)
+        kernel = self.inference_kernel()
         with Timer() as infer_timer:
-            labels = predict_labels(self.net, data)
+            labels = kernel.predict(data.features, data.adjacency)
         with Timer() as post_timer:
             extraction = extract_from_predictions(
                 aig, labels, root_filter=root_filter,
@@ -165,6 +186,7 @@ class Gamora:
     def reason_many(self, circuits, root_filter: bool = False,
                     correct_lsb: bool = True, lsb_outputs: int = 4,
                     max_shard_bytes: int | None = None,
+                    max_window_bytes: int | None = None,
                     postprocess_workers: int | None = None,
                     engine: str = "fast", with_report: bool = False):
         """Batched :meth:`reason` over many circuits via the serving layer.
@@ -172,7 +194,10 @@ class Gamora:
         Circuits are deduplicated by structural hash, encoded through an
         LRU cache, merged into block-diagonal shards (each kept under
         ``max_shard_bytes`` of estimated inference memory when set; one
-        monolithic pass otherwise), inferred shard by shard, and
+        monolithic pass otherwise; with ``max_window_bytes`` also set, a
+        circuit too large for any shard streams level-window by
+        level-window under that budget instead of running one unbounded
+        pass — labels bit-identical either way), inferred shard by shard, and
         post-processed per circuit — in ``postprocess_workers`` worker
         processes overlapped with the next shard's inference when > 0
         (``None``, the default, auto-sizes from ``os.cpu_count()`` and the
@@ -192,16 +217,23 @@ class Gamora:
             circuits, root_filter=root_filter,
             correct_lsb=correct_lsb, lsb_outputs=lsb_outputs,
             max_shard_bytes=max_shard_bytes,
+            max_window_bytes=max_window_bytes,
             postprocess_workers=postprocess_workers,
             engine=engine, with_report=with_report,
         )
 
     def predict_many(self, circuits) -> list[dict[str, np.ndarray]]:
         """Batched :meth:`predict`: one forward pass over all circuits."""
-        from repro.learn.trainer import predict_labels_many
+        from repro.learn.data import batch_graphs, unbatch_predictions
 
         graphs = [self.prepare(c, with_labels=False) for c in circuits]
-        return predict_labels_many(self.net, graphs)
+        if not graphs:
+            return []
+        merged = graphs[0] if len(graphs) == 1 else batch_graphs(graphs)
+        predictions = self.inference_kernel().predict(
+            merged.features, merged.adjacency
+        )
+        return unbatch_predictions(predictions, [g.num_nodes for g in graphs])
 
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:

@@ -357,7 +357,11 @@ def correct_lsb_region(
     """
     _check_engine(engine, matched_sets, candidates)
     roots = [lit_var(lit) for lit in aig.outputs[:num_outputs]]
-    cone = {var for var in aig.transitive_fanin(roots) if aig.is_and(var)}
+    # Reverse-reach the cone as an array (already sorted); only AND
+    # variables carry labels worth patching.
+    cone_arr = aig.transitive_fanin_array(roots)
+    cone_arr = cone_arr[cone_arr > aig.num_inputs]
+    cone = set(map(int, cone_arr))
     if not cone:
         return labels, set()
 
@@ -367,8 +371,6 @@ def correct_lsb_region(
             # identical to a whole-graph sweep) — this keeps the documented
             # "small cone, cheap repair" cost instead of touching every node.
             candidates = _sweep_candidates(aig, max_cuts, restrict_to=roots)
-        cone_arr = np.fromiter(cone, np.int64, len(cone))
-        cone_arr.sort()
         patched = {task: np.array(arr, copy=True)
                    for task, arr in labels.items()}
         patched["xor"][cone_arr] = in_sorted(cone_arr,

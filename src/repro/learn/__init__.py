@@ -3,9 +3,13 @@
 from repro.learn.features import FEATURE_MODES, encode_features, num_features
 from repro.learn.data import (
     GraphData,
+    Window,
+    WindowPlan,
     adjacency_operator,
     batch_graphs,
     build_graph_data,
+    halo_blocks,
+    sub_adjacency,
     unbatch_predictions,
 )
 from repro.learn.model import (
@@ -37,6 +41,7 @@ from repro.learn.infer import (
     batched_inference,
     estimate_batch_memory,
     estimate_inference_memory,
+    estimate_window_memory,
     timed_inference,
 )
 
@@ -45,9 +50,13 @@ __all__ = [
     "encode_features",
     "num_features",
     "GraphData",
+    "Window",
+    "WindowPlan",
     "adjacency_operator",
     "batch_graphs",
     "build_graph_data",
+    "halo_blocks",
+    "sub_adjacency",
     "unbatch_predictions",
     "TASK_CLASSES",
     "GamoraNet",
@@ -72,5 +81,6 @@ __all__ = [
     "batched_inference",
     "estimate_batch_memory",
     "estimate_inference_memory",
+    "estimate_window_memory",
     "timed_inference",
 ]

@@ -23,6 +23,7 @@ __all__ = [
     "batched_inference",
     "estimate_inference_memory",
     "estimate_batch_memory",
+    "estimate_window_memory",
     "A100_MEMORY_BYTES",
 ]
 
@@ -91,8 +92,35 @@ def batched_inference(model: GamoraNet | FastInference, graphs: list[GraphData],
     return results
 
 
-def estimate_inference_memory(model: GamoraNet, num_nodes: int, num_edges: int,
-                              bytes_per_value: int = 8,
+def _model_spec(model: GamoraNet | FastInference):
+    """Uniform layer-width/parameter view over the two model flavors.
+
+    Returns ``(conv_widths, shared_width, heads_width, feature_dim,
+    num_parameters, default_bytes_per_value)``.  The default byte width is
+    what makes the estimators price the path actually being run: 8 for the
+    float64 training tensors of a :class:`GamoraNet`, the snapshot dtype's
+    itemsize (4 for the stock float32 kernel) for a compiled
+    :class:`FastInference` — previously the serving path was priced at
+    float64 and shard/window planning over-provisioned ~2x.
+    """
+    if isinstance(model, FastInference):
+        conv_widths = model.conv_widths()
+        heads_width = sum(model.head_widths().values())
+        params = model.num_parameters()
+        default_bpv = model.itemsize
+    else:
+        conv_widths = [(c.in_features, c.out_features) for c in model.convs]
+        heads_width = sum(h.out_features for h in model.heads.values())
+        params = model.num_parameters()
+        default_bpv = 8
+    feature_dim = conv_widths[0][0] if conv_widths else 1
+    return (conv_widths, model.config.shared, heads_width, feature_dim,
+            params, default_bpv)
+
+
+def estimate_inference_memory(model: GamoraNet | FastInference,
+                              num_nodes: int, num_edges: int,
+                              bytes_per_value: int | None = None,
                               index_bytes: int = 8) -> int:
     """Peak-resident bytes of one inference pass (documented model).
 
@@ -102,37 +130,39 @@ def estimate_inference_memory(model: GamoraNet, num_nodes: int, num_edges: int,
     adjacency (``nnz`` values + ``nnz`` column indices + ``N+1`` offsets),
     and the feature matrix.  This reproduces the linear-in-(batch × |V|)
     scaling of the paper's Fig. 8 memory curves; absolute numbers depend on
-    ``bytes_per_value`` (8 for our float64 CPU path, 4 for a float32 GPU).
+    ``bytes_per_value``, which defaults to the byte width of the path the
+    model actually runs (8 for the float64 ``GamoraNet`` tensors, the
+    snapshot itemsize — 4 — for a compiled ``FastInference`` kernel).
     """
-    config = model.config
-    feature_dim = model.convs[0].in_features if model.convs else 1
+    (conv_widths, shared_width, heads_width, feature_dim,
+     num_parameters, default_bpv) = _model_spec(model)
+    if bytes_per_value is None:
+        bytes_per_value = default_bpv
     total = num_nodes * feature_dim * bytes_per_value  # input features
     total += num_edges * (bytes_per_value + index_bytes) + (num_nodes + 1) * index_bytes
 
     peak_layer = 0
     width_in = feature_dim
-    for conv in model.convs:
+    for layer_in, layer_out in conv_widths:
         live = num_nodes * (
-            width_in  # layer input
-            + width_in  # aggregated neighborhood
-            + 2 * width_in  # concat buffer
-            + conv.out_features  # layer output
+            layer_in  # layer input
+            + layer_in  # aggregated neighborhood
+            + 2 * layer_in  # concat buffer
+            + layer_out  # layer output
         ) * bytes_per_value
         peak_layer = max(peak_layer, live)
-        width_in = conv.out_features
-    shared_live = num_nodes * (width_in + config.shared) * bytes_per_value
-    heads_width = sum(
-        head.out_features for head in model.heads.values()
-    )
-    head_live = num_nodes * (config.shared + 2 * heads_width) * bytes_per_value
+        width_in = layer_out
+    shared_live = num_nodes * (width_in + shared_width) * bytes_per_value
+    head_live = num_nodes * (shared_width + 2 * heads_width) * bytes_per_value
     total += max(peak_layer, shared_live, head_live)
     # Model weights are negligible but counted for completeness.
-    total += model.num_parameters() * bytes_per_value
+    total += num_parameters * bytes_per_value
     return int(total)
 
 
-def estimate_batch_memory(model: GamoraNet, graphs: list[GraphData],
-                          bytes_per_value: int = 8,
+def estimate_batch_memory(model: GamoraNet | FastInference,
+                          graphs: list[GraphData],
+                          bytes_per_value: int | None = None,
                           index_bytes: int = 8) -> int:
     """Estimated peak bytes of one block-diagonal pass over ``graphs``.
 
@@ -147,3 +177,59 @@ def estimate_batch_memory(model: GamoraNet, graphs: list[GraphData],
         bytes_per_value=bytes_per_value,
         index_bytes=index_bytes,
     )
+
+
+def estimate_window_memory(model: GamoraNet | FastInference,
+                           block_sizes: list[int], block_edges: list[int],
+                           bytes_per_value: int | None = None,
+                           index_bytes: int = 8) -> int:
+    """Peak-resident bytes of one streamed window (analytic model).
+
+    The window-plan twin of :func:`estimate_inference_memory`: node counts
+    come from the per-layer halo blocks (``block_sizes[j]`` feeds conv
+    ``j``; the last entry is the target count) and edge counts from the
+    per-layer sub-CSR slices.  Each conv's live set is its input block, the
+    gathered self rows, the aggregated neighborhood, the concat buffer, the
+    output rows, and the sliced adjacency; the shared/head stages run on
+    the targets only.  Monotone in window size — growing a window can only
+    grow every block — which is what lets
+    :meth:`~repro.learn.data.GraphData.window_plan` binary-search window
+    sizes against a byte budget.
+    """
+    (conv_widths, shared_width, heads_width, feature_dim,
+     num_parameters, default_bpv) = _model_spec(model)
+    if bytes_per_value is None:
+        bytes_per_value = default_bpv
+    if len(block_sizes) != len(conv_widths) + 1:
+        raise ValueError(
+            f"expected {len(conv_widths) + 1} block sizes for "
+            f"{len(conv_widths)} conv layers, got {len(block_sizes)}"
+        )
+    if len(block_edges) != len(conv_widths):
+        raise ValueError(
+            f"expected {len(conv_widths)} block edge counts, "
+            f"got {len(block_edges)}"
+        )
+    targets = block_sizes[-1]
+    total = block_sizes[0] * feature_dim * bytes_per_value  # gathered features
+    peak_layer = 0
+    width_in = feature_dim
+    for j, (layer_in, layer_out) in enumerate(conv_widths):
+        rows_in, rows_out = block_sizes[j], block_sizes[j + 1]
+        live = (
+            rows_in * layer_in  # input block
+            + rows_out * layer_in  # gathered self rows
+            + rows_out * layer_in  # aggregated neighborhood
+            + 2 * rows_out * layer_in  # concat buffer
+            + rows_out * layer_out  # output rows
+        ) * bytes_per_value
+        live += block_edges[j] * (bytes_per_value + index_bytes)
+        live += (rows_out + 1) * index_bytes  # sub-CSR offsets
+        live += rows_in * index_bytes  # block index array
+        peak_layer = max(peak_layer, live)
+        width_in = layer_out
+    shared_live = targets * (width_in + shared_width) * bytes_per_value
+    head_live = targets * (shared_width + 2 * heads_width) * bytes_per_value
+    total += max(peak_layer, shared_live, head_live)
+    total += num_parameters * bytes_per_value
+    return int(total)

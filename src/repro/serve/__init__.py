@@ -7,8 +7,12 @@ memory model), deduplicates structurally identical requests, caches
 encodings and results in structural-hash keyed LRUs, and fans per-circuit
 post-processing out to worker processes (``postprocess_workers``, via
 :class:`repro.serve.workers.PostprocessPool`) overlapped with the next
-shard's forward pass.  See :mod:`repro.serve.service` for the pipeline and
-caching semantics.
+shard's forward pass.  Circuits too large for *any* shard are admitted
+anyway when ``max_window_bytes`` is set: their shards carry a
+:class:`repro.learn.data.WindowPlan` and the forward pass streams level
+window by level window — bit-identical labels, peak activation memory
+bounded by the window budget.  See :mod:`repro.serve.service` for the
+pipeline and caching semantics.
 
 On top of the batch service sits the always-on daemon
 (:mod:`repro.serve.daemon`): ``GamoraDaemon`` keeps the caches warm

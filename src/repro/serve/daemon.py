@@ -83,12 +83,14 @@ class GamoraDaemon:
                  run_dir: str | Path | None = None,
                  graph_cache_size: int = 256, result_cache_size: int = 512,
                  max_shard_bytes: int | None = None,
+                 max_window_bytes: int | None = None,
                  postprocess_workers: int | None = None,
                  engine: str = "fast", with_report: bool = True) -> None:
         self.service = ReasoningService(
             gamora, graph_cache_size=graph_cache_size,
             result_cache_size=result_cache_size,
             max_shard_bytes=max_shard_bytes,
+            max_window_bytes=max_window_bytes,
             postprocess_workers=postprocess_workers,
         )
         self.scheduler = MicroBatchScheduler(

@@ -102,6 +102,7 @@ class RequestStats:
     num_shards: int
     shard_index: int | None
     result_hit: bool
+    streamed: bool  # forward pass ran level-windowed under a window budget
     queue_wait_seconds: float
     service_seconds: float  # the group's reason_many wall clock
     total_seconds: float  # submit -> resolved
@@ -225,6 +226,7 @@ class MicroBatchScheduler:
         self.max_coalesced = 0  # largest micro-batch dispatched
         self.result_hits = 0  # requests served from the warm result LRU
         self.num_shards = 0  # forward passes across all batches
+        self.streamed_requests = 0  # requests run via the windowed pass
         self.stats_write_errors = 0  # run-dir stats.json writes that failed
 
     # ------------------------------------------------------------------
@@ -375,9 +377,11 @@ class MicroBatchScheduler:
                 continue
             batch_stats = dict(vars(result.stats))
             hits = 0
+            streamed = 0
             for request, outcome in zip(group, result):
                 hit = outcome.shard_index is None
                 hits += hit
+                streamed += outcome.streamed
                 stats = RequestStats(
                     request_id=request.request_id,
                     batch_id=batch_id,
@@ -387,6 +391,7 @@ class MicroBatchScheduler:
                     num_shards=result.stats.num_shards,
                     shard_index=outcome.shard_index,
                     result_hit=hit,
+                    streamed=outcome.streamed,
                     queue_wait_seconds=popped_at - request.enqueued,
                     service_seconds=timer.elapsed,
                     total_seconds=time.monotonic() - request.enqueued,
@@ -398,6 +403,7 @@ class MicroBatchScheduler:
                 self.completed += len(group)
                 self.result_hits += hits
                 self.num_shards += result.stats.num_shards
+                self.streamed_requests += streamed
 
     def _write_stats(self, stats: RequestStats) -> None:
         """Spill one request's stats.json; never fails the request."""
@@ -428,6 +434,7 @@ class MicroBatchScheduler:
                 "max_coalesced": self.max_coalesced,
                 "result_hits": self.result_hits,
                 "num_shards": self.num_shards,
+                "streamed_requests": self.streamed_requests,
                 "stats_write_errors": self.stats_write_errors,
                 "batch_window_ms": self.batch_window_seconds * 1000.0,
                 "max_batch": self.max_batch,

@@ -15,9 +15,15 @@ independent circuits and
    are greedily bin-packed (:func:`repro.serve.sharding.plan_shards`) so
    every block-diagonal merge stays under the analytic
    :func:`~repro.learn.infer.estimate_inference_memory` budget; unbounded
-   batches run as one monolithic shard;
-4. **streams** each shard through assemble → infer, then hands the shard's
-   per-circuit predictions to the post-processing stage;
+   batches run as one monolithic shard.  With ``max_window_bytes`` also
+   set, a circuit too large for *any* shard is admitted anyway: its
+   oversize shard carries a :class:`~repro.learn.data.WindowPlan` and runs
+   the level-windowed streamed forward pass with peak activation memory
+   bounded by the window budget — labels bit-identical to the full-graph
+   pass;
+4. **streams** each shard through assemble → infer (full-graph or
+   window-by-window), then hands the shard's per-circuit predictions to
+   the post-processing stage;
 5. **post-processes in parallel** — with ``postprocess_workers > 0`` the
    per-circuit :func:`~repro.core.postprocess.extract_from_predictions`
    calls run in a fork-based :class:`~repro.serve.workers.PostprocessPool`
@@ -31,6 +37,12 @@ Scaling knobs
     Peak estimated bytes one shard's inference may use.  ``None``
     (default) disables sharding.  Circuits whose standalone estimate
     exceeds the budget still run, each as its own oversize shard.
+``max_window_bytes``
+    Peak estimated bytes one *streaming window* may use.  ``None``
+    (default) keeps oversize shards on the unbounded full-graph pass;
+    set, every oversize shard streams level-window by level-window under
+    this budget (``BatchStats.streamed_graphs`` / ``num_windows`` /
+    ``peak_window_bytes`` report what actually ran).
 ``postprocess_workers``
     Worker processes for extraction.  ``None`` (default) auto-sizes per
     batch via :func:`repro.serve.workers.resolve_workers` — one worker per
@@ -87,7 +99,6 @@ import numpy as np
 from repro.aig.graph import AIG
 from repro.core.api import Gamora, ReasoningOutcome, _as_aig
 from repro.learn.data import GraphData, batch_graphs, build_graph_data, unbatch_predictions
-from repro.learn.trainer import predict_labels, predict_labels_many
 from repro.reasoning.wordlevel import analyze_adder_trees
 from repro.serve.cache import StructuralHashCache, exact_fingerprint
 from repro.serve.sharding import ShardPlan, plan_shards
@@ -126,6 +137,9 @@ class BatchStats:
     num_shards: int = 0  # forward passes this call (0 if fully cached)
     peak_shard_bytes: int = 0  # largest estimated shard footprint
     oversize_shards: int = 0  # lone circuits that exceeded the budget
+    streamed_graphs: int = 0  # oversize circuits run window-by-window
+    num_windows: int = 0  # streaming windows executed, summed over shards
+    peak_window_bytes: int = 0  # largest estimated window footprint
     postprocess_workers: int = 0  # effective worker processes (0: in-process)
     postprocess_fallbacks: int = 0  # worker failures recovered in-process
     postprocess_restarts: int = 0  # broken executors replaced mid-batch
@@ -137,6 +151,12 @@ class BatchStats:
             extra = (
                 f" | shards={self.num_shards} "
                 f"peak={self.peak_shard_bytes / 1024 ** 2:.1f}MiB"
+            )
+        if self.streamed_graphs:
+            extra += (
+                f" streamed={self.streamed_graphs} "
+                f"windows={self.num_windows} "
+                f"peak_window={self.peak_window_bytes / 1024 ** 2:.1f}MiB"
             )
         if self.postprocess_workers:
             extra += (
@@ -244,11 +264,13 @@ class ReasoningService:
     def __init__(self, gamora: Gamora, graph_cache_size: int = 128,
                  result_cache_size: int = 256,
                  max_shard_bytes: int | None = None,
+                 max_window_bytes: int | None = None,
                  postprocess_workers: int | None = None) -> None:
         self.gamora = gamora
         self.graph_cache = StructuralHashCache(graph_cache_size)
         self.result_cache = StructuralHashCache(result_cache_size)
         self.max_shard_bytes = max_shard_bytes
+        self.max_window_bytes = max_window_bytes
         self.postprocess_workers = postprocess_workers
         self._model_fp: str | None = None  # lazy model fingerprint
         # Guards the lazy fingerprint init: two daemon threads racing the
@@ -295,21 +317,30 @@ class ReasoningService:
                 unique[key] = len(datas)
                 datas.append(self._encode(aig, *key))
             slots.append(unique[key])
-        per_graph = predict_labels_many(self.gamora.net, datas)
+        merged = datas[0] if len(datas) == 1 else batch_graphs(datas)
+        predictions = self.gamora.inference_kernel().predict(
+            merged.features, merged.adjacency
+        )
+        per_graph = unbatch_predictions(predictions, [d.num_nodes for d in datas])
         return [per_graph[slot] for slot in slots]
 
     # ------------------------------------------------------------------
-    def plan(self, circuits, max_shard_bytes=_UNSET) -> ShardPlan:
+    def plan(self, circuits, max_shard_bytes=_UNSET,
+             max_window_bytes=_UNSET) -> ShardPlan:
         """Shard plan for ``circuits`` without running inference.
 
         Encodes through the graph LRU (so planning a batch warms the same
         cache serving it would) and packs the unique structures against the
-        byte budget — the service-wide ``max_shard_bytes`` unless
-        overridden here, so the plan matches what :meth:`reason_many`
-        would execute.  Useful for capacity checks and benchmark reporting.
+        byte budgets — the service-wide ``max_shard_bytes`` /
+        ``max_window_bytes`` unless overridden here, so the plan matches
+        what :meth:`reason_many` would execute.  Priced against the
+        deployment kernel (:meth:`Gamora.inference_kernel`), the path that
+        actually runs.  Useful for capacity checks and benchmark reporting.
         """
         if max_shard_bytes is _UNSET:
             max_shard_bytes = self.max_shard_bytes
+        if max_window_bytes is _UNSET:
+            max_window_bytes = self.max_window_bytes
         aigs = [_as_aig(c) for c in circuits]
         seen: set[tuple[str, str]] = set()
         datas: list[GraphData] = []
@@ -318,12 +349,14 @@ class ReasoningService:
             if key not in seen:
                 seen.add(key)
                 datas.append(self._encode(aig, *key))
-        return plan_shards(self.gamora.net, datas, max_shard_bytes)
+        return plan_shards(self.gamora.inference_kernel(), datas,
+                           max_shard_bytes, max_window_bytes)
 
     # ------------------------------------------------------------------
     def reason_many(self, circuits, root_filter: bool = False,
                     correct_lsb: bool = True, lsb_outputs: int = 4,
                     max_shard_bytes=_UNSET,
+                    max_window_bytes=_UNSET,
                     postprocess_workers=_UNSET,
                     engine: str = "fast",
                     with_report: bool = False) -> BatchReasoningOutcome:
@@ -350,6 +383,8 @@ class ReasoningService:
         """
         if max_shard_bytes is _UNSET:
             max_shard_bytes = self.max_shard_bytes
+        if max_window_bytes is _UNSET:
+            max_window_bytes = self.max_window_bytes
         if postprocess_workers is _UNSET:
             postprocess_workers = self.postprocess_workers
 
@@ -385,6 +420,7 @@ class ReasoningService:
                     aigs, pending, outcomes, options, stats,
                     root_filter=root_filter, correct_lsb=correct_lsb,
                     lsb_outputs=lsb_outputs, max_shard_bytes=max_shard_bytes,
+                    max_window_bytes=max_window_bytes,
                     postprocess_workers=postprocess_workers, engine=engine,
                     with_report=with_report,
                 )
@@ -425,6 +461,7 @@ class ReasoningService:
     def _reason_pending(self, aigs, pending, outcomes, options, stats, *,
                         root_filter: bool, correct_lsb: bool, lsb_outputs: int,
                         max_shard_bytes: int | None,
+                        max_window_bytes: int | None = None,
                         postprocess_workers: int | None,
                         engine: str = "fast",
                         with_report: bool = False) -> None:
@@ -439,7 +476,8 @@ class ReasoningService:
         stats.graph_hits += self.graph_cache.hits - graph_hits_before
         stats.graph_misses += len(datas) - stats.graph_hits
 
-        plan = plan_shards(self.gamora.net, datas, max_shard_bytes)
+        kernel = self.gamora.inference_kernel()
+        plan = plan_shards(kernel, datas, max_shard_bytes, max_window_bytes)
         stats.num_shards = len(plan)
         stats.peak_shard_bytes = plan.peak_shard_bytes
         stats.oversize_shards = plan.num_oversize
@@ -452,6 +490,7 @@ class ReasoningService:
         per_labels: list = [None] * len(datas)
         infer_shares: list[float] = [0.0] * len(datas)
         shard_of: list[int] = [0] * len(datas)  # shard ordinal per circuit
+        streamed_of: list[bool] = [False] * len(datas)  # ran windowed?
 
         # Workload hints for auto-sizing (postprocess_workers=None): one
         # worker per unique circuit, in-process when the batch is tiny.
@@ -473,8 +512,26 @@ class ReasoningService:
                 stats.num_edges += merged.num_edges
 
                 with Timer() as infer_timer:
-                    merged_labels = predict_labels(self.gamora.net, merged)
+                    if shard.window_plan is not None:
+                        # Oversize circuit admitted as a streaming job:
+                        # window-by-window pass, bit-identical labels,
+                        # peak activation memory bounded by the plan.
+                        merged_labels = kernel.predict_streamed(
+                            merged.features, merged.adjacency,
+                            shard.window_plan,
+                        )
+                    else:
+                        merged_labels = kernel.predict(
+                            merged.features, merged.adjacency
+                        )
                 stats.inference_seconds += infer_timer.elapsed
+                if shard.window_plan is not None:
+                    stats.streamed_graphs += len(shard.indices)
+                    stats.num_windows += shard.window_plan.num_windows
+                    stats.peak_window_bytes = max(
+                        stats.peak_window_bytes,
+                        shard.window_plan.peak_window_bytes,
+                    )
                 shard_labels = unbatch_predictions(
                     merged_labels, [d.num_nodes for d in shard_datas]
                 )
@@ -485,6 +542,7 @@ class ReasoningService:
                     per_labels[data_index] = labels
                     infer_shares[data_index] = share
                     shard_of[data_index] = shard_index
+                    streamed_of[data_index] = shard.window_plan is not None
                     handles[data_index] = pool.submit(
                         aigs[pending[keys[data_index]][0]], labels,
                         root_filter, correct_lsb, lsb_outputs, engine,
@@ -544,6 +602,7 @@ class ReasoningService:
                         postprocess_seconds=post_seconds,
                         report=outcome_report,
                         shard_index=shard_of[data_index],
+                        streamed=streamed_of[data_index],
                     )
             stats.postprocess_fallbacks = pool.fallbacks
             stats.postprocess_restarts = pool.restarts
@@ -565,7 +624,10 @@ class ReasoningService:
     # v4: the payload is a (labels, extraction, report) triple — the
     #     word-level report computed by the batched with_report path (None
     #     when the entry was cached by a non-reporting call).
-    _CACHE_FORMAT = _CACHE_FORMAT_FAMILY + "v4"
+    # v5: labels come from the shared float32 deployment kernel (padded
+    #     row-stable GEMMs) instead of the float64 training-path forward —
+    #     label bits can differ from v4 entries on argmax-tie nodes.
+    _CACHE_FORMAT = _CACHE_FORMAT_FAMILY + "v5"
 
     # The encoded-graph cache persists separately: encodings depend only on
     # the encoding configuration (feature mode / direction), not on the
@@ -573,7 +635,9 @@ class ReasoningService:
     # retrained model keeps its graph spill valid.
     _GRAPH_MARKER = "GRAPH.tag"
     _GRAPH_FORMAT_FAMILY = "gamora-graph-cache-"
-    _GRAPH_FORMAT = _GRAPH_FORMAT_FAMILY + "v1"
+    # v2: GraphData gained the cached topological-levels array that window
+    #     planning consumes (v1 pickles would deserialize without it).
+    _GRAPH_FORMAT = _GRAPH_FORMAT_FAMILY + "v2"
 
     @classmethod
     def _validate_owned_dir(cls, directory, marker_name: str,
@@ -812,5 +876,6 @@ class ReasoningService:
             f"ReasoningService({self.gamora!r}, graph_cache="
             f"{self.graph_cache!r}, result_cache={self.result_cache!r}, "
             f"max_shard_bytes={self.max_shard_bytes}, "
+            f"max_window_bytes={self.max_window_bytes}, "
             f"postprocess_workers={self.postprocess_workers})"
         )

@@ -12,8 +12,12 @@ from largest to smallest estimated footprint and placed into the first open
 shard whose *combined* estimate stays within ``max_shard_bytes`` (the
 estimate is monotone in nodes and edges, so re-evaluating the merged total
 is exact, not an approximation).  A graph that alone exceeds the budget
-becomes an *oversize singleton* shard — it still runs, just un-batched, and
-is flagged so callers can log the budget violation.
+becomes an *oversize singleton* shard.  Without a window budget it still
+runs un-batched and unbounded (flagged so callers can log the violation);
+with ``max_window_bytes`` set the singleton becomes a *streaming job* — the
+planner attaches a :class:`repro.learn.data.WindowPlan` and the executor
+runs the level-windowed forward pass with peak activation memory bounded by
+the window budget instead of the circuit size.
 
 Shards carry the member *indices* into the planner's input list, so a
 streaming consumer can reassemble per-graph results in input order no matter
@@ -24,9 +28,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.learn.data import GraphData
+from repro.learn.data import GraphData, WindowPlan
 from repro.learn.infer import estimate_inference_memory
-from repro.learn.model import GamoraNet
 
 __all__ = ["Shard", "ShardPlan", "plan_shards"]
 
@@ -40,9 +43,14 @@ class Shard:
     num_edges: int = 0
     estimated_bytes: int = 0
     oversize: bool = False  # a lone graph that alone exceeds the budget
+    window_plan: WindowPlan | None = None  # set: run the streamed pass
 
     def __len__(self) -> int:
         return len(self.indices)
+
+    @property
+    def streamed(self) -> bool:
+        return self.window_plan is not None
 
 
 @dataclass
@@ -51,6 +59,7 @@ class ShardPlan:
 
     shards: list[Shard] = field(default_factory=list)
     max_shard_bytes: int | None = None  # None: unbounded (single shard)
+    max_window_bytes: int | None = None  # None: oversize shards run full-graph
 
     def __len__(self) -> int:
         return len(self.shards)
@@ -60,26 +69,57 @@ class ShardPlan:
 
     @property
     def peak_shard_bytes(self) -> int:
-        return max((s.estimated_bytes for s in self.shards), default=0)
+        """Peak estimated bytes across shards, window budgets honored.
+
+        A streaming shard's footprint is its plan's peak *window*, not the
+        circuit's full-graph estimate — that is the whole point of
+        streaming it.
+        """
+        return max(
+            (
+                s.window_plan.peak_window_bytes if s.window_plan is not None
+                else s.estimated_bytes
+                for s in self.shards
+            ),
+            default=0,
+        )
 
     @property
     def num_oversize(self) -> int:
         return sum(1 for s in self.shards if s.oversize)
+
+    @property
+    def num_streamed(self) -> int:
+        return sum(1 for s in self.shards if s.streamed)
+
+    @property
+    def num_windows(self) -> int:
+        return sum(
+            s.window_plan.num_windows for s in self.shards
+            if s.window_plan is not None
+        )
 
     def summary(self) -> str:
         budget = (
             "unbounded" if self.max_shard_bytes is None
             else f"{self.max_shard_bytes / 1024 ** 2:.1f}MiB"
         )
-        return (
+        text = (
             f"{len(self.shards)} shard(s), peak "
             f"{self.peak_shard_bytes / 1024 ** 2:.1f}MiB (budget {budget}, "
             f"{self.num_oversize} oversize)"
         )
+        if self.num_streamed:
+            text += (
+                f", {self.num_streamed} streamed over "
+                f"{self.num_windows} window(s)"
+            )
+        return text
 
 
-def plan_shards(model: GamoraNet, graphs: list[GraphData],
-                max_shard_bytes: int | None = None) -> ShardPlan:
+def plan_shards(model, graphs: list[GraphData],
+                max_shard_bytes: int | None = None,
+                max_window_bytes: int | None = None) -> ShardPlan:
     """Pack encoded graphs into memory-bounded shards.
 
     ``max_shard_bytes`` of ``None`` (or a non-positive value) disables
@@ -88,12 +128,20 @@ def plan_shards(model: GamoraNet, graphs: list[GraphData],
     first-fit-decreasing pack keeps each shard's
     :func:`~repro.learn.infer.estimate_inference_memory` at or under the
     budget; a graph whose standalone estimate already exceeds it becomes its
-    own ``oversize`` shard.  Shards are returned ordered by their smallest
-    member index, and each shard's ``indices`` are ascending, so execution
-    order is deterministic for a given input.
+    own ``oversize`` shard.  With ``max_window_bytes`` set, each oversize
+    shard additionally gets a :meth:`~repro.learn.data.GraphData.window_plan`
+    so the executor can stream it level-window by level-window instead of
+    running one unbounded full-graph pass.  ``model`` may be a ``GamoraNet``
+    (float64 training pricing) or a compiled
+    :class:`~repro.learn.fast.FastInference` (float32 serving pricing).
+    Shards are returned ordered by their smallest member index, and each
+    shard's ``indices`` are ascending, so execution order is deterministic
+    for a given input.
     """
+    if max_window_bytes is not None and max_window_bytes <= 0:
+        max_window_bytes = None
     if not graphs:
-        return ShardPlan([], max_shard_bytes)
+        return ShardPlan([], max_shard_bytes, max_window_bytes)
     if max_shard_bytes is None or max_shard_bytes <= 0:
         shard = Shard(
             indices=list(range(len(graphs))),
@@ -103,7 +151,7 @@ def plan_shards(model: GamoraNet, graphs: list[GraphData],
         shard.estimated_bytes = estimate_inference_memory(
             model, shard.num_nodes, shard.num_edges
         )
-        return ShardPlan([shard], None)
+        return ShardPlan([shard], None, max_window_bytes)
 
     standalone = [
         estimate_inference_memory(model, g.num_nodes, g.num_edges)
@@ -115,13 +163,16 @@ def plan_shards(model: GamoraNet, graphs: list[GraphData],
     for index in order:
         graph = graphs[index]
         if standalone[index] > max_shard_bytes:
-            shards.append(Shard(
+            shard = Shard(
                 indices=[index],
                 num_nodes=graph.num_nodes,
                 num_edges=graph.num_edges,
                 estimated_bytes=standalone[index],
                 oversize=True,
-            ))
+            )
+            if max_window_bytes is not None:
+                shard.window_plan = graph.window_plan(max_window_bytes, model)
+            shards.append(shard)
             continue
         for shard in shards:
             if shard.oversize:
@@ -147,4 +198,4 @@ def plan_shards(model: GamoraNet, graphs: list[GraphData],
     for shard in shards:
         shard.indices.sort()
     shards.sort(key=lambda s: s.indices[0])
-    return ShardPlan(shards, max_shard_bytes)
+    return ShardPlan(shards, max_shard_bytes, max_window_bytes)

@@ -150,7 +150,10 @@ class TestShardedEquivalence:
     def test_single_graph_shards_match_sequential(self, gamora, zoo_graphs,
                                                   sequential_memo):
         """Budget below every standalone estimate: one circuit per shard."""
-        standalone = [estimate_batch_memory(gamora.net, [g]) for g in zoo_graphs]
+        # Budgets for the service come from the deployment kernel's pricing
+        # (float32) — the estimator the service itself plans with.
+        kernel = gamora.inference_kernel()
+        standalone = [estimate_batch_memory(kernel, [g]) for g in zoo_graphs]
         service = ReasoningService(gamora, result_cache_size=0,
                                    max_shard_bytes=min(standalone) - 1)
         spec_ids = list(range(len(ZOO)))
@@ -163,7 +166,8 @@ class TestShardedEquivalence:
     def test_shard_boundary_groups_match_sequential(self, gamora, zoo_graphs,
                                                     sequential_memo):
         """A budget that splits the batch mid-way (the boundary case)."""
-        standalone = [estimate_batch_memory(gamora.net, [g]) for g in zoo_graphs]
+        kernel = gamora.inference_kernel()
+        standalone = [estimate_batch_memory(kernel, [g]) for g in zoo_graphs]
         budget = max(standalone) + min(standalone) // 2
         service = ReasoningService(gamora, result_cache_size=0,
                                    max_shard_bytes=budget)
@@ -175,7 +179,8 @@ class TestShardedEquivalence:
             assert_outcome_equal(outcome, sequential_memo(spec_id))
 
     def test_stats_accumulate_across_shards(self, gamora, zoo_graphs):
-        standalone = [estimate_batch_memory(gamora.net, [g]) for g in zoo_graphs]
+        kernel = gamora.inference_kernel()
+        standalone = [estimate_batch_memory(kernel, [g]) for g in zoo_graphs]
         service = ReasoningService(gamora, result_cache_size=0,
                                    max_shard_bytes=max(standalone) + 1)
         batch = service.reason_many([spec() for spec in ZOO])
@@ -206,7 +211,7 @@ class TestShardedEquivalence:
                                                 gamora, zoo_graphs,
                                                 sequential_memo):
         """Any batch x any budget: identical to sequential reason()."""
-        total = estimate_batch_memory(gamora.net, zoo_graphs)
+        total = estimate_batch_memory(gamora.inference_kernel(), zoo_graphs)
         budget = None if budget_div == 0 else max(total // budget_div, 1)
         service = ReasoningService(gamora, result_cache_size=0,
                                    max_shard_bytes=budget)
@@ -229,7 +234,8 @@ class TestParallelPostprocess:
 
     def test_workers_with_sharding_match_sequential(self, gamora, zoo_graphs,
                                                     sequential_memo):
-        standalone = [estimate_batch_memory(gamora.net, [g]) for g in zoo_graphs]
+        kernel = gamora.inference_kernel()
+        standalone = [estimate_batch_memory(kernel, [g]) for g in zoo_graphs]
         service = ReasoningService(
             gamora, result_cache_size=0,
             max_shard_bytes=max(standalone) + 1, postprocess_workers=2,
