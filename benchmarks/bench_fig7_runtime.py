@@ -18,12 +18,20 @@ from __future__ import annotations
 
 import pytest
 
-from common import keep_under_benchmark_only, FULL, bench_multiplier, emit, format_table, trained_gamora
+from common import keep_under_benchmark_only, FULL, bench_multiplier, emit, emit_json, format_table, trained_gamora
 from repro.learn import timed_inference
 from repro.reasoning import detect_xor_maj, extract_adder_tree
 from repro.utils.timing import Timer, format_seconds
 
 WIDTHS = (16, 32, 64, 128, 256, 512, 768) if FULL else (16, 32, 64, 128, 192)
+
+# The streamed continuation of the growth sweep: widths past the full-graph
+# series' ceiling, run level-windowed so the forward pass never materializes
+# the whole graph.  Runtime and *peak window footprint* are the series —
+# weights are untrained (runtime and footprint are weight-independent, see
+# bench_streaming.py) so the lane stays minutes-scale.
+STREAM_WIDTHS = (1024,) if FULL else (256,)
+STREAM_BUDGET_DIV = 8
 
 
 @pytest.fixture(scope="module")
@@ -108,6 +116,73 @@ def test_fig7_runtime_tracks_graph_size(runtime_series, benchmark):
     assert time_ratio < size_ratio * 8, (
         f"inference time grew {time_ratio:.1f}x for a {size_ratio:.1f}x larger graph"
     )
+
+
+@pytest.fixture(scope="module")
+def streamed_growth():
+    from repro.core import Gamora
+    from repro.learn import estimate_inference_memory
+
+    gamora = Gamora(model="shallow")
+    kernel = gamora.inference_kernel()
+    rows = []
+    for width in STREAM_WIDTHS:
+        gen = bench_multiplier(width)
+        data = gamora.prepare(gen, with_labels=False)
+        full_estimate = estimate_inference_memory(
+            kernel, data.num_nodes, data.num_edges
+        )
+        budget = full_estimate // STREAM_BUDGET_DIV
+        plan = data.window_plan(budget, kernel)
+        with Timer() as timer:
+            kernel.predict_streamed(data.features, data.adjacency, plan)
+        rows.append(
+            {
+                "width": width,
+                "nodes": data.num_nodes,
+                "edges": gen.aig.num_edges,
+                "streamed": timer.elapsed,
+                "num_windows": plan.num_windows,
+                "budget_bytes": int(budget),
+                "peak_window_bytes": int(plan.peak_window_bytes),
+                "within_budget": plan.within_budget,
+            }
+        )
+    return rows
+
+
+def test_fig7_streamed_growth(streamed_growth, benchmark):
+    """Growth continuation: the sweep keeps scaling past the full-graph
+    ceiling because the streamed pass bounds the window footprint."""
+    keep_under_benchmark_only(benchmark)
+    table = [
+        [
+            f"{r['width']}-bit",
+            f"{r['nodes']:.1e}",
+            f"{r['edges']:.1e}",
+            format_seconds(r["streamed"]),
+            r["num_windows"],
+            f"{r['peak_window_bytes'] / 2**20:.1f} MiB",
+        ]
+        for r in streamed_growth
+    ]
+    emit(
+        "fig7_runtime",
+        format_table(
+            "Fig.7 (streamed growth): level-windowed Gamora inference, CSA",
+            ["design", "|V|", "|E|", "streamed", "windows", "peak window"],
+            table,
+        ),
+    )
+    emit_json("BENCH_fig7_streamed", {
+        "budget_divisor": STREAM_BUDGET_DIV,
+        "series": streamed_growth,
+    })
+    for row in streamed_growth:
+        assert row["within_budget"], row
+        assert row["peak_window_bytes"] <= row["budget_bytes"], row
+        assert row["num_windows"] > 1, row
+        assert row["streamed"] > 0
 
 
 def test_fig7_inference_kernel(benchmark):

@@ -1,0 +1,253 @@
+"""Kernel backends head-to-head: numpy reference vs the numba JIT lane.
+
+Micro-benchmarks each of the four registered hot-path kernels
+(:mod:`repro.kernels`) in isolation on the 64-bit CSA multiplier — the
+per-level cut merge, the cone frontier sweep, the packed-key FA join and
+the Kahn longest-path wavefront — with the *same* prebuilt inputs for
+every backend, so the comparison times nothing but the kernel.
+
+The numpy baseline always runs and appends a record to
+``BENCH_kernels.json``.  With numba installed the differential lane also
+runs: every kernel's output must be **bit-identical** to the numpy
+reference (asserted here, not just in the unit suite), at least two of
+the four kernels must clear a 3x speedup, and the CI smoke guard pins
+>= 2x on the cone sweep alone.  JIT compilation happens before timing
+(one untimed warmup call per kernel), exactly like the serving daemon's
+boot-time warmup.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from common import (
+    emit,
+    emit_json,
+    format_table,
+    keep_under_benchmark_only,
+    bench_multiplier,
+)
+from repro.aig.cuts import TRIVIAL_TRUTH
+from repro.kernels import registry
+from repro.kernels.numpy_backend import _SAFE_PACK_LIMIT
+from repro.kernels.registry import numba_available
+from repro.reasoning.fast_pairing import (
+    PairingCandidates,
+    _full_adder_edges,
+    _match_full_adders,
+)
+
+WIDTH = 64
+K, MAX_CUTS = 3, 10
+REPEATS = 3
+MIN_SPEEDUP = 3.0  # full-lane bar, on at least two kernels
+SMOKE_MIN_SPEEDUP = 2.0  # CI smoke bar, on the cone sweep
+
+needs_numba = pytest.mark.skipif(
+    not numba_available(), reason="numba not installed"
+)
+
+
+def backend_impl(kernel: str, backend: str):
+    """A backend's raw kernel implementation, bypassing global selection."""
+    assert registry._load_backend(backend), backend
+    return registry._impls[(kernel, backend)]
+
+
+# ---------------------------------------------------------------------------
+# Shared inputs: built once from the 64-bit multiplier, identical for
+# every backend (in-place kernels get fresh scratch copies per run).
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def inputs():
+    aig = bench_multiplier(WIDTH).aig
+    fanin0, fanin1 = aig.fanin_arrays()
+    fanin0 = np.asarray(fanin0, dtype=np.int64)
+    fanin1 = np.asarray(fanin1, dtype=np.int64)
+    num_vars = aig.num_vars
+    first = 1 + aig.num_inputs
+    batches = list(aig.and_level_batches())
+
+    # cone_sweep / fa_join inputs: the real matched-FA frontier of this
+    # multiplier, reconstructed through the (backend-independent) pairing
+    # preamble so both kernels see serving-shaped data.
+    from repro.aig.fast_cuts import enumerate_cuts_arrays
+
+    cuts = enumerate_cuts_arrays(aig, k=K, max_cuts=MAX_CUTS)
+    cands = PairingCandidates.from_cut_arrays(cuts)
+    fa_maj, fa_xor, fa_leaves = _match_full_adders(*_full_adder_edges(cands))
+    owner = np.arange(len(fa_maj), dtype=np.int64)
+    stride = np.int64(num_vars)
+    ml, xl = cands.maj_leaves, cands.xor3_leaves
+    return {
+        "aig": aig,
+        "num_vars": num_vars,
+        "first_and": first,
+        "fanin0": fanin0,
+        "fanin1": fanin1,
+        "f0v": fanin0 >> 1,
+        "f1v": fanin1 >> 1,
+        "batches": batches,
+        "num_ands": aig.num_ands,
+        "root_vars": np.concatenate([fa_xor, fa_maj]),
+        "root_owner": np.concatenate([owner, owner]),
+        "leaf_matrix": np.asarray(fa_leaves, dtype=np.int64),
+        "maj_var": np.asarray(cands.maj_var, dtype=np.int64),
+        "maj_key": (ml[:, 0] * stride + ml[:, 1]) * stride + ml[:, 2],
+        "xor_var": np.asarray(cands.xor3_var, dtype=np.int64),
+        "xor_key": (xl[:, 0] * stride + xl[:, 1]) * stride + xl[:, 2],
+        "num_adders": len(fa_maj),
+    }
+
+
+def run_merge_level(impl, inp):
+    num_vars = inp["num_vars"]
+    slots = MAX_CUTS + 1
+    pad = num_vars
+    leaves = np.full((num_vars, slots, 3), pad, dtype=np.int32)
+    truths = np.zeros((num_vars, slots), dtype=np.uint8)
+    sizes = np.zeros((num_vars, slots), dtype=np.int8)
+    counts = np.zeros(num_vars, dtype=np.int32)
+    boundary = np.arange(inp["first_and"])
+    leaves[boundary, 0, 0] = boundary
+    truths[boundary, 0] = TRIVIAL_TRUTH
+    sizes[boundary, 0] = 1
+    counts[boundary] = 1
+    for batch in inp["batches"]:
+        impl(batch, inp["fanin0"], inp["fanin1"], leaves, truths, sizes,
+             counts, k=K, max_cuts=MAX_CUTS, include_trivial=True,
+             pad=pad, pack_limit=_SAFE_PACK_LIMIT)
+    return leaves, truths, sizes, counts
+
+
+def run_cone_sweep(impl, inp):
+    return impl(inp["first_and"], inp["f0v"], inp["f1v"],
+                inp["root_vars"], inp["root_owner"], inp["leaf_matrix"])
+
+
+def run_fa_join(impl, inp):
+    return impl(inp["maj_var"], inp["maj_key"],
+                inp["xor_var"], inp["xor_key"])
+
+
+def run_kahn_propagate(impl, inp):
+    first, n_ands = inp["first_and"], inp["num_ands"]
+    f0v = inp["f0v"][first:]
+    f1v = inp["f1v"][first:]
+    indegree = (f0v >= first).astype(np.int64) + (f1v >= first)
+    src = np.concatenate([f0v, f1v]) - first
+    dst = np.concatenate([np.arange(n_ands), np.arange(n_ands)])
+    keep = src >= 0
+    src, dst = src[keep], dst[keep]
+    order = np.argsort(src, kind="stable")
+    bounds = np.searchsorted(src[order], np.arange(n_ands + 1))
+    values = np.ones(n_ands, dtype=np.int64)
+    impl(bounds, dst[order], indegree, values)
+    return (values,)
+
+
+RUNNERS = {
+    "merge_level": run_merge_level,
+    "cone_sweep": run_cone_sweep,
+    "fa_join": run_fa_join,
+    "kahn_propagate": run_kahn_propagate,
+}
+
+
+def measure(kernel: str, backend: str, inp) -> tuple[tuple, float]:
+    """Best-of-``REPEATS`` wall clock; result from the last run."""
+    impl = backend_impl(kernel, backend)
+    runner = RUNNERS[kernel]
+    runner(impl, inp)  # untimed warmup: JIT under numba, caches under numpy
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        result = runner(impl, inp)
+        best = min(best, time.perf_counter() - started)
+    return result, best
+
+
+def assert_identical(kernel: str, ref: tuple, got: tuple) -> None:
+    assert len(ref) == len(got), kernel
+    for index, (want, have) in enumerate(zip(ref, got)):
+        np.testing.assert_array_equal(
+            want, have,
+            err_msg=f"{kernel}: numba output {index} diverged from numpy",
+        )
+
+
+@pytest.fixture(scope="module")
+def numpy_times(inputs):
+    return {kernel: measure(kernel, "numpy", inputs)
+            for kernel in registry.KERNEL_NAMES}
+
+
+def test_kernels_numpy_baseline(benchmark, inputs, numpy_times):
+    """Always-on lane: sanity-check and record the reference timings."""
+    keep_under_benchmark_only(benchmark)
+    (leaves, _, _, counts), _ = numpy_times["merge_level"]
+    assert int(counts.sum()) > inputs["num_vars"]  # cuts actually stored
+    (nodes, owners), _ = numpy_times["cone_sweep"]
+    assert len(nodes) == len(owners) > 0
+    (edge_maj, edge_xor, _), _ = numpy_times["fa_join"]
+    assert len(edge_maj) == len(edge_xor) >= inputs["num_adders"]
+    (values,), _ = numpy_times["kahn_propagate"]
+    assert values.max() > 1
+    emit_json("BENCH_kernels", {
+        "width": WIDTH,
+        "backend": "numpy",
+        "numba_available": numba_available(),
+        "seconds": {k: t for k, (_, t) in numpy_times.items()},
+    })
+
+
+@needs_numba
+def test_kernels_numba_speedup(benchmark, inputs, numpy_times):
+    """Full numba lane: bit-identical outputs, >= 3x on >= 2 kernels."""
+    keep_under_benchmark_only(benchmark)
+    rows, speedups = [], {}
+    for kernel in registry.KERNEL_NAMES:
+        ref, ref_seconds = numpy_times[kernel]
+        got, jit_seconds = measure(kernel, "numba", inputs)
+        assert_identical(kernel, ref, got)
+        speedups[kernel] = ref_seconds / max(jit_seconds, 1e-9)
+        rows.append([kernel, f"{ref_seconds * 1e3:.2f}",
+                     f"{jit_seconds * 1e3:.2f}",
+                     f"{speedups[kernel]:.1f}x"])
+    emit("kernels_backends", format_table(
+        f"Kernel backends, {WIDTH}-bit CSA (best of {REPEATS})",
+        ["kernel", "numpy ms", "numba ms", "speedup"], rows,
+    ))
+    emit_json("BENCH_kernels", {
+        "width": WIDTH,
+        "backend": "numba",
+        "speedups": speedups,
+    })
+    cleared = sum(s >= MIN_SPEEDUP for s in speedups.values())
+    assert cleared >= 2, (
+        f"expected >= {MIN_SPEEDUP}x on at least two kernels, got {speedups}"
+    )
+
+
+@needs_numba
+def test_kernels_smoke(benchmark, inputs):
+    """CI guard: the cone sweep alone must clear 2x, bit-identically."""
+    keep_under_benchmark_only(benchmark)
+    ref, ref_seconds = measure("cone_sweep", "numpy", inputs)
+    got, jit_seconds = measure("cone_sweep", "numba", inputs)
+    assert_identical("cone_sweep", ref, got)
+    speedup = ref_seconds / max(jit_seconds, 1e-9)
+    emit_json("BENCH_kernels", {
+        "smoke": True,
+        "width": WIDTH,
+        "cone_sweep_speedup": speedup,
+    })
+    assert speedup >= SMOKE_MIN_SPEEDUP, (
+        f"cone_sweep: {speedup:.2f}x under numba (need >= "
+        f"{SMOKE_MIN_SPEEDUP}x)"
+    )

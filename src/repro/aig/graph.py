@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
+from repro.kernels.registry import LEVELS_SCALAR_CUTOFF, get_kernel
+
 __all__ = [
     "AIG",
     "lit_var",
@@ -285,24 +287,24 @@ class AIG:
     # Derived structure
     # ------------------------------------------------------------------
     # Below this many AND nodes the per-node Python recurrence beats the
-    # wavefront sweep's per-round NumPy call overhead (a few µs per level).
-    _LEVELS_VECTOR_MIN = 4096
+    # wavefront sweep's per-round kernel call overhead (a few µs per level).
+    # The tunable constant lives in the kernel registry (one knob for the
+    # whole repo); this stays a class attribute so tests can monkeypatch it.
+    _LEVELS_VECTOR_MIN = LEVELS_SCALAR_CUTOFF
 
     def levels_array(self) -> "object":
         """Topological level of every variable as a cached int64 array.
 
-        PIs and the constant are level 0.  Computed by a vectorized Kahn
-        wavefront: AND nodes whose fan-ins are all resolved form a frontier,
-        the whole frontier's levels are assigned in one NumPy expression,
-        and resolving it releases the next frontier through a CSR fan-out
-        index — O(|V| + |E|) array work plus one Python round per wave,
-        replacing the old per-node Python recurrence on large graphs.
-        Small graphs (fewer than ``_LEVELS_VECTOR_MIN`` ANDs) keep the
-        scalar loop, which has lower constant overhead there.
+        PIs and the constant are level 0.  Computed by the registered
+        ``kahn_propagate`` kernel (:mod:`repro.kernels`): a longest-path
+        wavefront over the AND→AND CSR fan-out index, with every AND
+        seeded at level 1 so primary-input fan-ins contribute without
+        appearing as graph nodes — O(|V| + |E|) work, replacing the old
+        per-node Python recurrence on large graphs.  Small graphs (fewer
+        than ``_LEVELS_VECTOR_MIN`` ANDs) keep the scalar loop, which has
+        lower constant overhead there.
         """
         import numpy as np
-
-        from repro.utils.arrays import ragged_gather
 
         if self._levels_arr is not None:
             return self._levels_arr
@@ -317,11 +319,10 @@ class AIG:
             self._levels = lev
             self._levels_arr = np.asarray(lev, dtype=np.int64)
             return self._levels_arr
-        lev = np.zeros(num, dtype=np.int64)
         f0v = np.asarray(self._fanin0[first:], dtype=np.int64) >> 1
         f1v = np.asarray(self._fanin1[first:], dtype=np.int64) >> 1
-        # Number of *AND* fan-ins still unleveled, per AND node (0-based).
-        unresolved = (f0v >= first).astype(np.int64) + (f1v >= first)
+        # Number of *AND* fan-ins per AND node (0-based): the Kahn indegree.
+        indegree = (f0v >= first).astype(np.int64) + (f1v >= first)
         # CSR index: AND producer -> the AND nodes that read it.
         src = np.concatenate([f0v, f1v]) - first
         dst = np.concatenate([np.arange(n_ands), np.arange(n_ands)])
@@ -330,18 +331,10 @@ class AIG:
         order = np.argsort(src, kind="stable")
         src_sorted, dst_sorted = src[order], dst[order]
         bounds = np.searchsorted(src_sorted, np.arange(n_ands + 1))
-        frontier = np.flatnonzero(unresolved == 0)
-        while frontier.size:
-            lev[frontier + first] = 1 + np.maximum(
-                lev[f0v[frontier]], lev[f1v[frontier]]
-            )
-            flat = ragged_gather(bounds[frontier], bounds[frontier + 1])
-            if not len(flat):
-                break
-            consumers = dst_sorted[flat]
-            released = np.bincount(consumers, minlength=n_ands)
-            unresolved -= released
-            frontier = np.flatnonzero((unresolved == 0) & (released > 0))
+        values = np.ones(n_ands, dtype=np.int64)
+        get_kernel("kahn_propagate")(bounds, dst_sorted, indegree, values)
+        lev = np.zeros(num, dtype=np.int64)
+        lev[first:] = values
         self._levels_arr = lev
         return lev
 

@@ -54,6 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
                          default="fast",
                          help="vectorized sweep + array pairing (fast) or "
                               "the per-node baseline (legacy)")
+    extract.add_argument("--kernel", choices=["auto", "numpy", "numba"],
+                         default=None,
+                         help="hot-path kernel backend (default: REPRO_KERNEL "
+                              "env var, else auto = numba when installed)")
 
     train = sub.add_parser("train", help="train a Gamora model")
     train.add_argument("model_out", help="output .npz path")
@@ -99,6 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--engine", choices=["fast", "legacy"], default="fast",
                        help="post-processing engine (results cached per "
                             "engine)")
+    batch.add_argument("--kernel", choices=["auto", "numpy", "numba"],
+                       default=None,
+                       help="hot-path kernel backend (default: REPRO_KERNEL "
+                            "env var, else auto = numba when installed); "
+                            "backends are bit-identical, so results are "
+                            "cached regardless of the choice")
 
     serve = sub.add_parser(
         "serve",
@@ -144,6 +154,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-report", action="store_true",
                        help="skip the batched word-level report (responses "
                             "carry report: null)")
+    serve.add_argument("--kernel", choices=["auto", "numpy", "numba"],
+                       default=None,
+                       help="hot-path kernel backend (default: REPRO_KERNEL "
+                            "env var, else auto = numba when installed); the "
+                            "daemon JIT-warms the backend before the socket "
+                            "accepts")
 
     tmap = sub.add_parser("map", help="technology-map a netlist")
     tmap.add_argument("netlist")
@@ -186,10 +202,19 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _select_kernel(args) -> None:
+    """Apply a ``--kernel`` choice (no flag given: env/auto stays in force)."""
+    if getattr(args, "kernel", None) is not None:
+        from repro.kernels import set_backend
+
+        set_backend(args.kernel)
+
+
 def _cmd_extract(args) -> int:
     from repro.reasoning import analyze_adder_tree, detect_xor_maj, extract_adder_tree
     from repro.utils.timing import Timer, format_seconds
 
+    _select_kernel(args)
     aig = read_aiger(args.netlist)
     with Timer() as timer:
         if args.engine == "fast":
@@ -283,6 +308,7 @@ def _cmd_batch_reason(args) -> int:
     if args.cache_dir and _check_cache_dir(args.cache_dir,
                                            "batch-reason") is not None:
         return 2
+    _select_kernel(args)
     gamora = Gamora.load(args.model)
     aigs = []
     for path in args.netlists:
@@ -348,6 +374,7 @@ def _cmd_serve(args) -> int:
     if args.cache_dir and _check_cache_dir(args.cache_dir,
                                            "serve") is not None:
         return 2
+    _select_kernel(args)
     gamora = Gamora.load(args.model)
     daemon = GamoraDaemon(
         gamora,
@@ -365,6 +392,9 @@ def _cmd_serve(args) -> int:
         with_report=not args.no_report,
     )
     daemon.start()
+    warm = daemon.kernel_warmup
+    print(f"kernel backend: {warm['backend']} "
+          f"(warmed up in {warm['seconds'] * 1e3:.0f}ms)")
     if args.cache_dir:
         print(f"warm caches: {daemon.loaded_results} results, "
               f"{daemon.loaded_graphs} graphs from {args.cache_dir}")

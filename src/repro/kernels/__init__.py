@@ -1,0 +1,48 @@
+"""Pluggable compiled-kernel backends for the array hot paths.
+
+``repro.kernels`` dispatches the four post-GNN array kernels — the
+per-level cut merge, the cone frontier sweep, the packed-key FA join and
+the Kahn longest-path wavefront — to a selected backend: the pure-NumPy
+reference (always present, the default) or the optional Numba
+``@njit(cache=True)`` backend.  See :mod:`repro.kernels.registry` for
+selection semantics (``REPRO_KERNEL``, ``set_backend``) and
+:mod:`repro.kernels.numpy_backend` for the pinned kernel signatures.
+
+This package import stays light: backend modules load lazily on first
+dispatch, so importing :mod:`repro.aig.graph` (which reads the levels
+threshold constant from here) costs nothing extra.
+"""
+
+from repro.kernels.registry import (
+    BACKEND_ENV,
+    KERNEL_NAMES,
+    LEVELS_SCALAR_CUTOFF,
+    active_backend,
+    dispatch_counts,
+    get_kernel,
+    kernel_stats,
+    numba_available,
+    register,
+    requested_backend,
+    reset_dispatch_counts,
+    resolve_backend,
+    set_backend,
+    warmup,
+)
+
+__all__ = [
+    "BACKEND_ENV",
+    "KERNEL_NAMES",
+    "LEVELS_SCALAR_CUTOFF",
+    "active_backend",
+    "dispatch_counts",
+    "get_kernel",
+    "kernel_stats",
+    "numba_available",
+    "register",
+    "requested_backend",
+    "reset_dispatch_counts",
+    "resolve_backend",
+    "set_backend",
+    "warmup",
+]

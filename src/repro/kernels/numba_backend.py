@@ -1,0 +1,436 @@
+"""Numba ``@njit(cache=True)`` implementations of the hot-path kernels.
+
+Import-gated: this module raises ``ImportError`` when numba is not
+installed, and the registry treats that as "backend unavailable" (numpy
+serves).  The compiled kernels are scalar re-derivations of the numpy
+contracts, not line-by-line ports — a per-node merge loop needs neither
+the chunking nor the int64 leaf compaction the vectorized merge carries —
+but their outputs are bit-identical by construction and pinned by
+``tests/test_kernels.py``:
+
+* ``merge_level`` sorts candidates by the same ``(size, leaves)`` key
+  (padded leaf triples compare exactly like the packed int64 rank keys,
+  because the pad id exceeds every real leaf), keeps first-occurrence on
+  duplicate leaf sets, and applies the same singleton/pair dominance
+  filter;
+* ``cone_sweep`` emits each owner's reachable set sorted ascending —
+  exactly the ``(owner, node)`` order of the sorted-unique key array the
+  numpy sweep returns;
+* ``fa_join`` reproduces the lexsort + first-per-pair collapse (the
+  output is a pure function of the input *set*, so intermediate visit
+  order is free);
+* ``kahn_propagate`` computes longest-path values, which are unique
+  regardless of relaxation order.
+
+Each wrapper coerces inputs to one specialization (C-contiguous int64
+index arrays), so a process compiles each kernel once; ``cache=True``
+persists the machine code across processes.  LUT constants are passed as
+arguments rather than referenced as globals to keep the cache portable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from repro.kernels import numpy_backend
+from repro.kernels.registry import register
+
+_EXPAND_LUT = np.ascontiguousarray(numpy_backend.EXPAND_LUT)
+_WIDTH_MASK = np.ascontiguousarray(numpy_backend._WIDTH_MASK)
+_TRIVIAL_TRUTH = np.uint8(numpy_backend.TRIVIAL_TRUTH)
+
+_INT32_MAX = np.int32(np.iinfo(np.int32).max)
+
+
+# ---------------------------------------------------------------------------
+# merge_level
+# ---------------------------------------------------------------------------
+
+@njit(cache=True)
+def _cand_greater(cand_size, cand_leaves, a, b):
+    """Candidate ``a`` ranks after ``b`` under the (size, leaves) key."""
+    if cand_size[a] != cand_size[b]:
+        return cand_size[a] > cand_size[b]
+    for t in range(3):
+        if cand_leaves[a, t] != cand_leaves[b, t]:
+            return cand_leaves[a, t] > cand_leaves[b, t]
+    return False
+
+
+@njit(cache=True)
+def _merge_level_jit(batch, fanin0, fanin1, leaves, truths, sizes, counts,
+                     k, max_cuts, include_trivial, pad, trivial_truth,
+                     expand_lut, width_mask):
+    slots = leaves.shape[1]
+    grid = slots * slots
+    cand_leaves = np.empty((grid, 3), dtype=np.int32)
+    cand_truth = np.empty(grid, dtype=np.uint8)
+    cand_size = np.empty(grid, dtype=np.int64)
+    keep = np.empty(grid, dtype=np.bool_)
+    order = np.empty(grid, dtype=np.int64)
+    union = np.empty(3, dtype=np.int32)
+    for b in range(batch.shape[0]):
+        node = batch[b]
+        lit0 = fanin0[node]
+        lit1 = fanin1[node]
+        v0 = lit0 >> 1
+        v1 = lit1 >> 1
+        flip0 = np.uint8(255) if (lit0 & 1) else np.uint8(0)
+        flip1 = np.uint8(255) if (lit1 & 1) else np.uint8(0)
+        c0 = counts[v0]
+        c1 = counts[v1]
+        n_cand = 0
+        for s0 in range(c0):
+            sz0 = sizes[v0, s0]
+            for s1 in range(c1):
+                sz1 = sizes[v1, s1]
+                # Sorted-list union of the two leaf sets, tracking which
+                # fan-in contributed each union position (the EXPAND_LUT
+                # masks) and bailing out past k distinct leaves.
+                i = 0
+                j = 0
+                out = 0
+                mask0 = 0
+                mask1 = 0
+                feasible = True
+                while i < sz0 or j < sz1:
+                    a = leaves[v0, s0, i] if i < sz0 else _INT32_MAX
+                    c = leaves[v1, s1, j] if j < sz1 else _INT32_MAX
+                    if out >= k:
+                        feasible = False
+                        break
+                    if a < c:
+                        union[out] = a
+                        mask0 |= 1 << out
+                        i += 1
+                    elif c < a:
+                        union[out] = c
+                        mask1 |= 1 << out
+                        j += 1
+                    else:
+                        union[out] = a
+                        mask0 |= 1 << out
+                        mask1 |= 1 << out
+                        i += 1
+                        j += 1
+                    out += 1
+                if not feasible:
+                    continue
+                t0 = expand_lut[mask0, truths[v0, s0]] ^ flip0
+                t1 = expand_lut[mask1, truths[v1, s1]] ^ flip1
+                cand_truth[n_cand] = (t0 & t1) & width_mask[out]
+                cand_size[n_cand] = out
+                for t in range(out):
+                    cand_leaves[n_cand, t] = union[t]
+                for t in range(out, 3):
+                    cand_leaves[n_cand, t] = pad
+                n_cand += 1
+
+        # Stable insertion sort by (size, leaves); candidate counts are
+        # tiny (<= slots**2, typically ~121) so O(n^2) beats any fancier
+        # scheme here.
+        for x in range(n_cand):
+            order[x] = x
+        for x in range(1, n_cand):
+            current = order[x]
+            y = x - 1
+            while y >= 0 and _cand_greater(cand_size, cand_leaves,
+                                           order[y], current):
+                order[y + 1] = order[y]
+                y -= 1
+            order[y + 1] = current
+
+        # Dedup: equal leaf sets are adjacent after the sort (equal leaves
+        # imply equal size); keep the first occurrence.
+        for x in range(n_cand):
+            ci = order[x]
+            duplicate = False
+            if x > 0:
+                pi = order[x - 1]
+                duplicate = (cand_leaves[ci, 0] == cand_leaves[pi, 0]
+                             and cand_leaves[ci, 1] == cand_leaves[pi, 1]
+                             and cand_leaves[ci, 2] == cand_leaves[pi, 2])
+            keep[ci] = not duplicate
+
+        # Dominance: singletons dominate any superset, pairs dominate
+        # covering triples.  Clearing a victim before later candidates
+        # check it is safe: dominance is transitive and singletons are
+        # never dominated, so whatever killed a pair kills its triples.
+        for x in range(n_cand):
+            ci = order[x]
+            if not keep[ci]:
+                continue
+            size_c = cand_size[ci]
+            if size_c < 2:
+                continue
+            for y in range(n_cand):
+                cj = order[y]
+                if cand_size[cj] >= size_c:
+                    break  # sorted by size: no smaller cuts remain
+                if not keep[cj]:
+                    continue
+                if cand_size[cj] == 1:
+                    leaf = cand_leaves[cj, 0]
+                    if (cand_leaves[ci, 0] == leaf
+                            or cand_leaves[ci, 1] == leaf
+                            or cand_leaves[ci, 2] == leaf):
+                        keep[ci] = False
+                        break
+                elif cand_size[cj] == 2 and size_c == 3:
+                    a0 = cand_leaves[cj, 0]
+                    a1 = cand_leaves[cj, 1]
+                    has0 = (cand_leaves[ci, 0] == a0
+                            or cand_leaves[ci, 1] == a0
+                            or cand_leaves[ci, 2] == a0)
+                    has1 = (cand_leaves[ci, 0] == a1
+                            or cand_leaves[ci, 1] == a1
+                            or cand_leaves[ci, 2] == a1)
+                    if has0 and has1:
+                        keep[ci] = False
+                        break
+
+        kept = 0
+        for x in range(n_cand):
+            ci = order[x]
+            if not keep[ci]:
+                continue
+            if kept >= max_cuts:
+                break
+            for t in range(3):
+                leaves[node, kept, t] = cand_leaves[ci, t]
+            truths[node, kept] = cand_truth[ci]
+            sizes[node, kept] = np.int8(cand_size[ci])
+            kept += 1
+        if include_trivial:
+            leaves[node, kept, 0] = np.int32(node)
+            truths[node, kept] = trivial_truth
+            sizes[node, kept] = 1
+            counts[node] = kept + 1
+        else:
+            counts[node] = kept
+
+
+def merge_level(batch, fanin0, fanin1, leaves, truths, sizes, counts, *,
+                k, max_cuts, include_trivial, pad, pack_limit):
+    # pack_limit is a numpy-backend footprint knob (int64 key compaction);
+    # the scalar merge compares leaf triples directly and never packs.
+    del pack_limit
+    _merge_level_jit(
+        np.ascontiguousarray(batch, dtype=np.int64),
+        np.ascontiguousarray(fanin0, dtype=np.int64),
+        np.ascontiguousarray(fanin1, dtype=np.int64),
+        leaves, truths, sizes, counts,
+        np.int64(k), np.int64(max_cuts), bool(include_trivial),
+        np.int32(pad), _TRIVIAL_TRUTH, _EXPAND_LUT, _WIDTH_MASK,
+    )
+
+
+register("merge_level", "numba")(merge_level)
+
+
+# ---------------------------------------------------------------------------
+# cone_sweep
+# ---------------------------------------------------------------------------
+
+@njit(cache=True)
+def _cone_sweep_jit(first_and, f0v, f1v, root_vars, root_owner, leaf_matrix):
+    num_owners = leaf_matrix.shape[0]
+    width = leaf_matrix.shape[1]
+    num_vars = f0v.shape[0]
+    num_roots = root_vars.shape[0]
+
+    # Counting-sort the roots into per-owner CSR slices.
+    offsets = np.zeros(num_owners + 1, dtype=np.int64)
+    for r in range(num_roots):
+        offsets[root_owner[r] + 1] += 1
+    for o in range(num_owners):
+        offsets[o + 1] += offsets[o]
+    cursor = offsets.copy()
+    roots = np.empty(num_roots, dtype=np.int64)
+    for r in range(num_roots):
+        o = root_owner[r]
+        roots[cursor[o]] = root_vars[r]
+        cursor[o] += 1
+
+    # One DFS per owner over a shared stamp array; owners ascend, each
+    # owner's slice is sorted afterwards, so the output order equals the
+    # numpy sweep's sorted-unique (owner, node) keys.
+    stamp = np.full(num_vars, -1, dtype=np.int64)
+    capacity = 64
+    out_nodes = np.empty(capacity, dtype=np.int64)
+    out_owners = np.empty(capacity, dtype=np.int64)
+    total = 0
+    stack_cap = 64
+    stack = np.empty(stack_cap, dtype=np.int64)
+    for owner in range(num_owners):
+        start = total
+        top = 0
+        for r in range(offsets[owner], offsets[owner + 1]):
+            root = roots[r]
+            if root < first_and or stamp[root] == owner:
+                continue
+            crossing = False
+            for c in range(width):
+                if leaf_matrix[owner, c] == root:
+                    crossing = True
+                    break
+            if crossing:
+                continue
+            stamp[root] = owner
+            if top >= stack_cap:
+                stack_cap *= 2
+                grown = np.empty(stack_cap, dtype=np.int64)
+                grown[:top] = stack[:top]
+                stack = grown
+            stack[top] = root
+            top += 1
+        while top > 0:
+            top -= 1
+            node = stack[top]
+            if total >= capacity:
+                capacity *= 2
+                grown_nodes = np.empty(capacity, dtype=np.int64)
+                grown_nodes[:total] = out_nodes[:total]
+                out_nodes = grown_nodes
+                grown_owners = np.empty(capacity, dtype=np.int64)
+                grown_owners[:total] = out_owners[:total]
+                out_owners = grown_owners
+            out_nodes[total] = node
+            out_owners[total] = owner
+            total += 1
+            for side in range(2):
+                child = f0v[node] if side == 0 else f1v[node]
+                if child < first_and or stamp[child] == owner:
+                    continue
+                crossing = False
+                for c in range(width):
+                    if leaf_matrix[owner, c] == child:
+                        crossing = True
+                        break
+                if crossing:
+                    continue
+                stamp[child] = owner
+                if top >= stack_cap:
+                    stack_cap *= 2
+                    grown = np.empty(stack_cap, dtype=np.int64)
+                    grown[:top] = stack[:top]
+                    stack = grown
+                stack[top] = child
+                top += 1
+        segment = out_nodes[start:total].copy()
+        segment.sort()
+        out_nodes[start:total] = segment
+    return out_nodes[:total].copy(), out_owners[:total].copy()
+
+
+def cone_sweep(first_and, f0v, f1v, root_vars, root_owner, leaf_matrix):
+    return _cone_sweep_jit(
+        np.int64(first_and),
+        np.ascontiguousarray(f0v, dtype=np.int64),
+        np.ascontiguousarray(f1v, dtype=np.int64),
+        np.ascontiguousarray(root_vars, dtype=np.int64),
+        np.ascontiguousarray(root_owner, dtype=np.int64),
+        np.ascontiguousarray(leaf_matrix, dtype=np.int64),
+    )
+
+
+register("cone_sweep", "numba")(cone_sweep)
+
+
+# ---------------------------------------------------------------------------
+# fa_join
+# ---------------------------------------------------------------------------
+
+@njit(cache=True)
+def _fa_join_jit(maj_var, maj_key, xor_var, xor_key):
+    xorder = np.argsort(xor_key, kind="mergesort")
+    xkey = xor_key[xorder]
+    xvar = xor_var[xorder]
+    num_maj = maj_key.shape[0]
+    lo = np.searchsorted(xkey, maj_key, side="left")
+    hi = np.searchsorted(xkey, maj_key, side="right")
+    count = 0
+    for i in range(num_maj):
+        for t in range(lo[i], hi[i]):
+            if xvar[t] != maj_var[i]:
+                count += 1
+    edge_maj = np.empty(count, dtype=np.int64)
+    edge_xor = np.empty(count, dtype=np.int64)
+    edge_key = np.empty(count, dtype=np.int64)
+    e = 0
+    for i in range(num_maj):
+        for t in range(lo[i], hi[i]):
+            if xvar[t] != maj_var[i]:
+                edge_maj[e] = maj_var[i]
+                edge_xor[e] = xvar[t]
+                edge_key[e] = maj_key[i]
+                e += 1
+    # lexsort by (maj, xor, key): LSD chain of stable sorts.
+    idx = np.argsort(edge_key, kind="mergesort")
+    idx = idx[np.argsort(edge_xor[idx], kind="mergesort")]
+    idx = idx[np.argsort(edge_maj[idx], kind="mergesort")]
+    out_maj = np.empty(count, dtype=np.int64)
+    out_xor = np.empty(count, dtype=np.int64)
+    out_key = np.empty(count, dtype=np.int64)
+    kept = 0
+    for t in range(count):
+        row = idx[t]
+        if (kept > 0 and out_maj[kept - 1] == edge_maj[row]
+                and out_xor[kept - 1] == edge_xor[row]):
+            continue  # parallel edge: first in key order already kept
+        out_maj[kept] = edge_maj[row]
+        out_xor[kept] = edge_xor[row]
+        out_key[kept] = edge_key[row]
+        kept += 1
+    return out_maj[:kept].copy(), out_xor[:kept].copy(), out_key[:kept].copy()
+
+
+def fa_join(maj_var, maj_key, xor_var, xor_key):
+    return _fa_join_jit(
+        np.ascontiguousarray(maj_var, dtype=np.int64),
+        np.ascontiguousarray(maj_key, dtype=np.int64),
+        np.ascontiguousarray(xor_var, dtype=np.int64),
+        np.ascontiguousarray(xor_key, dtype=np.int64),
+    )
+
+
+register("fa_join", "numba")(fa_join)
+
+
+# ---------------------------------------------------------------------------
+# kahn_propagate
+# ---------------------------------------------------------------------------
+
+@njit(cache=True)
+def _kahn_jit(indptr, consumers, indegree, values):
+    n = values.shape[0]
+    stack = np.empty(n, dtype=np.int64)
+    top = 0
+    for node in range(n):
+        if indegree[node] == 0:
+            stack[top] = node
+            top += 1
+    while top > 0:
+        top -= 1
+        node = stack[top]
+        relaxed = values[node] + 1
+        for e in range(indptr[node], indptr[node + 1]):
+            child = consumers[e]
+            if values[child] < relaxed:
+                values[child] = relaxed
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                stack[top] = child
+                top += 1
+
+
+def kahn_propagate(indptr, consumers, indegree, values):
+    _kahn_jit(
+        np.ascontiguousarray(indptr, dtype=np.int64),
+        np.ascontiguousarray(consumers, dtype=np.int64),
+        indegree, values,
+    )
+
+
+register("kahn_propagate", "numba")(kahn_propagate)

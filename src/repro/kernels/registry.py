@@ -1,0 +1,278 @@
+"""Backend registry for the array hot-path kernels.
+
+The post-GNN path runs on four well-defined array contracts (the
+ROADMAP's kernel targets): the per-level cut merge, the cone frontier
+sweep, the packed-key FA join, and the Kahn longest-path wavefront.  Each
+is a *registered kernel*: a name plus a pinned signature, with one
+implementation per *backend*.  The pure-NumPy backend is always present
+and stays the default; a Numba ``@njit(cache=True)`` backend is
+import-gated (``numba`` is optional) and must be bit-identical — the
+differential suite in ``tests/test_kernels.py`` pins that, which is also
+what makes backend choice invisible to the result cache.
+
+Selection is process-global, not per-call: the ``REPRO_KERNEL`` env var
+(``auto`` | ``numpy`` | ``numba``) picks the default, :func:`set_backend`
+overrides it (the CLI's ``--kernel`` flag lands here).  ``auto`` means
+"numba when importable, else numpy"; an *explicit* ``numba`` request
+without numba installed warns and falls back to numpy — never an
+ImportError on a serving path.  Backends may implement any subset of the
+kernels; missing ones transparently fall back to numpy, which is also how
+test-only backends hook in (:func:`register` accepts arbitrary backend
+names).
+
+Every dispatch is counted per ``(kernel, backend)`` so the serving daemon
+can surface what actually ran (``stats``/``stats.json``).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import threading
+import warnings
+from typing import Callable
+
+__all__ = [
+    "BACKEND_ENV",
+    "KERNEL_NAMES",
+    "LEVELS_SCALAR_CUTOFF",
+    "active_backend",
+    "dispatch_counts",
+    "get_kernel",
+    "kernel_stats",
+    "numba_available",
+    "register",
+    "requested_backend",
+    "reset_dispatch_counts",
+    "resolve_backend",
+    "set_backend",
+    "warmup",
+]
+
+BACKEND_ENV = "REPRO_KERNEL"
+
+# The four pinned kernel contracts (see numpy_backend for the reference
+# implementations and the signature documentation).
+KERNEL_NAMES = ("merge_level", "cone_sweep", "fa_join", "kahn_propagate")
+
+# Below this many AND nodes, AIG.levels() keeps its per-node Python
+# recurrence: the wavefront kernel's per-round call overhead (a few µs per
+# topological level, regardless of backend) only amortizes once levels are
+# wide enough.  One tunable constant — `AIG._LEVELS_VECTOR_MIN` is
+# initialized from it — measured by the `kahn_propagate` rows of
+# `benchmarks/bench_kernels.py` (the 64-bit multiplier, ~40k ANDs, sits
+# far above the cutoff; shrink it only with numbers from that benchmark).
+LEVELS_SCALAR_CUTOFF = 4096
+
+_impls: dict[tuple[str, str], Callable] = {}
+_loaded_backends: set[str] = set()
+_requested: str | None = None  # explicit set_backend choice (beats the env)
+_active: str | None = None  # cached resolution; invalidated by set_backend
+_counts: dict[tuple[str, str], int] = {}
+_warmup_info: dict | None = None
+_lock = threading.RLock()
+
+
+def register(kernel: str, backend: str) -> Callable[[Callable], Callable]:
+    """Decorator: register an implementation of ``kernel`` for ``backend``."""
+    if kernel not in KERNEL_NAMES:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of {KERNEL_NAMES}"
+        )
+
+    def decorate(fn: Callable) -> Callable:
+        with _lock:
+            _impls[(kernel, backend)] = fn
+        return fn
+
+    return decorate
+
+
+def numba_available() -> bool:
+    """Whether ``import numba`` could succeed (spec probe, no import)."""
+    try:
+        return importlib.util.find_spec("numba") is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def _load_backend(backend: str) -> bool:
+    """Make ``backend``'s kernels registered; False when unavailable."""
+    with _lock:
+        if backend in _loaded_backends:
+            return True
+        if backend == "numpy":
+            from repro.kernels import numpy_backend  # noqa: F401
+        elif backend == "numba":
+            try:
+                from repro.kernels import numba_backend  # noqa: F401
+            except ImportError:
+                return False
+        elif not any(key[1] == backend for key in _impls):
+            # Custom backends (tests, experiments) register their kernels
+            # up front; an unknown name has nothing to load.
+            return False
+        _loaded_backends.add(backend)
+        return True
+
+
+def requested_backend() -> str:
+    """What was asked for: ``set_backend`` choice, else env, else ``auto``."""
+    with _lock:
+        if _requested is not None:
+            return _requested
+    return os.environ.get(BACKEND_ENV, "auto").strip().lower() or "auto"
+
+
+def resolve_backend(name: str | None = None) -> str:
+    """Resolve a requested backend name to the one that will serve.
+
+    ``auto`` prefers numba when importable; an explicit ``numba`` request
+    without numba warns and degrades to numpy (a serving process must come
+    up regardless); anything else must be a registered backend name.
+    """
+    name = (name or requested_backend()).strip().lower()
+    if name == "auto":
+        if numba_available() and _load_backend("numba"):
+            return "numba"
+        return "numpy"
+    if name == "numpy":
+        _load_backend("numpy")
+        return "numpy"
+    if name == "numba":
+        if _load_backend("numba"):
+            return "numba"
+        warnings.warn(
+            "kernel backend 'numba' requested but numba is not importable; "
+            "falling back to the numpy backend",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "numpy"
+    if _load_backend(name):
+        return name
+    raise ValueError(
+        f"unknown kernel backend {name!r}; expected 'auto', 'numpy', "
+        "'numba', or a registered custom backend"
+    )
+
+
+def set_backend(name: str | None) -> str:
+    """Select the process-wide backend; returns the resolved name.
+
+    ``None`` clears any explicit choice and re-reads ``REPRO_KERNEL``.
+    """
+    global _requested, _active
+    with _lock:
+        _requested = None if name is None else str(name).strip().lower()
+        _active = resolve_backend()
+        return _active
+
+
+def active_backend() -> str:
+    """The backend dispatch currently serves (resolving lazily once)."""
+    global _active
+    with _lock:
+        if _active is None:
+            _active = resolve_backend()
+        return _active
+
+
+def get_kernel(name: str) -> Callable:
+    """The active backend's ``name`` implementation, dispatch-counted.
+
+    Backends may implement a subset of the kernels: anything missing is
+    served by the numpy reference implementation (and counted as numpy).
+    """
+    backend = active_backend()
+    with _lock:
+        impl = _impls.get((name, backend))
+        if impl is None:
+            _load_backend("numpy")
+            impl = _impls.get((name, "numpy"))
+            if impl is None:
+                raise KeyError(f"unknown kernel {name!r}")
+            backend = "numpy"
+    key = (name, backend)
+
+    def dispatched(*args, **kwargs):
+        with _lock:
+            _counts[key] = _counts.get(key, 0) + 1
+        return impl(*args, **kwargs)
+
+    return dispatched
+
+
+def dispatch_counts() -> dict[str, dict[str, int]]:
+    """``{kernel: {backend: invocations}}`` since the last reset."""
+    out: dict[str, dict[str, int]] = {}
+    with _lock:
+        items = sorted(_counts.items())
+    for (kernel, backend), count in items:
+        out.setdefault(kernel, {})[backend] = count
+    return out
+
+
+def reset_dispatch_counts() -> None:
+    with _lock:
+        _counts.clear()
+
+
+def kernel_stats() -> dict:
+    """JSON-ready snapshot for the daemon's ``stats`` surface."""
+    with _lock:
+        warmed = dict(_warmup_info) if _warmup_info is not None else None
+    return {
+        "backend": active_backend(),
+        "requested": requested_backend(),
+        "numba_available": numba_available(),
+        "warmup": warmed,
+        "dispatch_counts": dispatch_counts(),
+    }
+
+
+def warmup(backend: str | None = None) -> dict:
+    """Prime the active backend on a tiny synthetic AIG; returns a record.
+
+    Runs the real pipeline — cut sweep, FA join, cone consumption,
+    word-level ranks — over a small CSA multiplier so every registered
+    kernel executes at least once (under numba that is what triggers, and
+    with ``cache=True`` persists, JIT compilation).  Small graphs take the
+    scalar ``levels()`` fallback, so the Kahn kernel is additionally
+    driven directly on a hand-built CSR.  Dispatch counters are reset
+    afterwards: serving stats start at zero, compile cost is paid before
+    the first request.
+    """
+    global _warmup_info
+    import time
+
+    import numpy as np
+
+    if backend is not None:
+        set_backend(backend)
+    resolved = active_backend()
+    started = time.perf_counter()
+
+    from repro.generators import csa_multiplier
+    from repro.reasoning.fast_pairing import fast_extract_adder_tree
+    from repro.reasoning.wordlevel import analyze_adder_tree
+
+    aig = csa_multiplier(4).aig
+    tree = fast_extract_adder_tree(aig)
+    analyze_adder_tree(aig, tree)
+
+    indptr = np.array([0, 1, 2, 2], dtype=np.int64)
+    consumers = np.array([1, 2], dtype=np.int64)
+    indegree = np.array([0, 1, 1], dtype=np.int64)
+    values = np.zeros(3, dtype=np.int64)
+    get_kernel("kahn_propagate")(indptr, consumers, indegree, values)
+    assert values[2] == 2, "kahn warmup produced a wrong longest path"
+
+    reset_dispatch_counts()
+    record = {
+        "backend": resolved,
+        "seconds": time.perf_counter() - started,
+    }
+    with _lock:
+        _warmup_info = dict(record)
+    return record

@@ -55,6 +55,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.aig.graph import AIG
+from repro.kernels.registry import get_kernel
 from repro.reasoning.adder_tree import (
     KIND_FA,
     KIND_HA,
@@ -276,57 +277,20 @@ def batched_cones(aig: AIG, root_vars: np.ndarray, root_owner: np.ndarray,
     live cones at that depth, no matter how many adders the wavefront
     spans.
 
-    Real cones are so shallow that revisit bookkeeping costs more than the
-    few duplicate expansions it would save, so rounds expand raw and one
-    final sort dedups the result.  Degenerate detections whose "leaves" do
-    not actually cut the cone could make raw re-expansion compound, so a
-    guard switches to exact per-round visited filtering as soon as the
-    sweep runs deep or the frontier outgrows everything collected so far —
-    capping total work at the visited-set size either way.
+    The sweep itself is the ``cone_sweep`` registered kernel
+    (:mod:`repro.kernels`): the numpy implementation advances all cones'
+    frontiers together with whole-array passes, a compiled backend runs
+    one stamped DFS per owner — both return the same sorted pairs.
     """
-    stride = np.int64(aig.num_vars)
-    first_and = 1 + aig.num_inputs
     fanin0, fanin1 = aig.fanin_arrays()
-    f0v = fanin0 >> 1
-    f1v = fanin1 >> 1
-    leaf_matrix = np.asarray(leaf_matrix, dtype=np.int64)
-    width = leaf_matrix.shape[1]
-
-    def crosses_leaf(nodes: np.ndarray, owners: np.ndarray) -> np.ndarray:
-        hit = leaf_matrix[owners, 0] == nodes
-        for column in range(1, width):
-            hit |= leaf_matrix[owners, column] == nodes
-        return hit
-
-    root_vars = np.asarray(root_vars, dtype=np.int64)
-    root_owner = np.asarray(root_owner, dtype=np.int64)
-    admit = (root_vars >= first_and) & ~crosses_leaf(root_vars, root_owner)
-    frontier = _sorted_unique(root_owner[admit] * stride + root_vars[admit])
-    collected = [frontier]
-    total = len(frontier)
-    seen: np.ndarray | None = None
-    rounds = 0
-    while len(frontier):
-        nodes = frontier % stride
-        owners = frontier // stride
-        children = np.concatenate([f0v[nodes], f1v[nodes]])
-        child_owner = np.concatenate([owners, owners])
-        inside = children >= first_and
-        children, child_owner = children[inside], child_owner[inside]
-        keep = ~crosses_leaf(children, child_owner)
-        child_keys = child_owner[keep] * stride + children[keep]
-        rounds += 1
-        if seen is not None or rounds >= 8 or len(child_keys) > 2 * total:
-            if seen is None:
-                seen = _sorted_unique(np.concatenate(collected))
-            child_keys = _sorted_unique(child_keys)
-            child_keys = child_keys[~_in_sorted(child_keys, seen)]
-            seen = _sorted_unique(np.concatenate([seen, child_keys]))
-        collected.append(child_keys)
-        total += len(child_keys)
-        frontier = child_keys
-    pairs = _sorted_unique(np.concatenate(collected))
-    return pairs % stride, pairs // stride
+    return get_kernel("cone_sweep")(
+        1 + aig.num_inputs,
+        fanin0 >> 1,
+        fanin1 >> 1,
+        np.asarray(root_vars, dtype=np.int64),
+        np.asarray(root_owner, dtype=np.int64),
+        np.asarray(leaf_matrix, dtype=np.int64),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -361,33 +325,15 @@ def _full_adder_edges(cands: PairingCandidates
     maj_key = (ml[:, 0] * stride + ml[:, 1]) * stride + ml[:, 2]
     xor_key = (xl[:, 0] * stride + xl[:, 1]) * stride + xl[:, 2]
 
-    xorder = np.argsort(xor_key, kind="stable")
-    xor_key_sorted = xor_key[xorder]
-    xor_var_sorted = cands.xor3_var[xorder]
-    lo = np.searchsorted(xor_key_sorted, maj_key, side="left")
-    hi = np.searchsorted(xor_key_sorted, maj_key, side="right")
-    flat = ragged_gather(lo, hi)
-    if not len(flat):
+    # The join itself is the ``fa_join`` registered kernel; key packing and
+    # leaf unpacking stay here so every backend sees the same int64 keys.
+    edge_maj, edge_xor, edge_key = get_kernel("fa_join")(
+        np.asarray(cands.maj_var, dtype=np.int64), maj_key,
+        np.asarray(cands.xor3_var, dtype=np.int64), xor_key,
+    )
+    if not len(edge_maj):
         return (np.zeros(0, dtype=np.int64),) * 2 + (
             np.zeros((0, 3), dtype=np.int64),)
-    maj_row = np.repeat(np.arange(len(maj_key)), hi - lo)
-    edge_maj = cands.maj_var[maj_row]
-    edge_xor = xor_var_sorted[flat]
-    edge_key = maj_key[maj_row]
-    keep = edge_maj != edge_xor
-    edge_maj, edge_xor, edge_key = edge_maj[keep], edge_xor[keep], edge_key[keep]
-
-    order = np.lexsort((edge_key, edge_xor, edge_maj))
-    edge_maj, edge_xor, edge_key = (
-        edge_maj[order], edge_xor[order], edge_key[order]
-    )
-    unique_pair = np.r_[
-        True,
-        (edge_maj[1:] != edge_maj[:-1]) | (edge_xor[1:] != edge_xor[:-1]),
-    ]
-    edge_maj, edge_xor, edge_key = (
-        edge_maj[unique_pair], edge_xor[unique_pair], edge_key[unique_pair]
-    )
     inner = edge_key // stride
     leaves = np.column_stack([inner // stride, inner % stride,
                               edge_key % stride])

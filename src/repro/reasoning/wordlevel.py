@@ -29,7 +29,8 @@ import numpy as np
 
 from repro.aig.graph import AIG, lit_var
 from repro.reasoning.adder_tree import KIND_FA, KIND_HA, AdderTree
-from repro.utils.arrays import in_sorted, ragged_gather
+from repro.kernels.registry import get_kernel
+from repro.utils.arrays import in_sorted
 
 __all__ = [
     "WordLevelReport",
@@ -152,9 +153,11 @@ def analyze_adder_tree(aig: AIG, tree: AdderTree,
 def _core_ranks(core) -> np.ndarray:
     """Longest-path rank per adder row of one (or a merged) array core.
 
-    Kahn wavefront: a frontier of rank-final adders pushes ``rank + 1``
-    through the CSR fan-out index; an adder joins the next frontier when
-    its last incoming edge resolves.  The adder DAG inherits acyclicity
+    Runs the registered ``kahn_propagate`` kernel (:mod:`repro.kernels`,
+    shared with :meth:`AIG.levels_array`): a frontier of rank-final adders
+    pushes ``rank + 1`` through the CSR fan-out index; an adder joins the
+    next frontier when its last incoming edge resolves.  The adder DAG
+    inherits acyclicity
     from the AIG (links follow variable topological order), so every adder
     is processed exactly once.  On a block-diagonal merged core the
     components are disjoint, so ranks equal the per-tree ones.
@@ -165,18 +168,11 @@ def _core_ranks(core) -> np.ndarray:
     if len(src):
         indptr, consumers = core.link_csr()
         indegree = np.bincount(dst, minlength=num_adders)
-        frontier = np.flatnonzero(indegree == 0)
-        while len(frontier):
-            starts, ends = indptr[frontier], indptr[frontier + 1]
-            flat = ragged_gather(starts, ends)
-            if not len(flat):
-                break
-            children = consumers[flat]
-            parents = np.repeat(frontier, ends - starts)
-            np.maximum.at(rank, children, rank[parents] + 1)
-            np.subtract.at(indegree, children, 1)
-            unique_children = np.unique(children)
-            frontier = unique_children[indegree[unique_children] == 0]
+        get_kernel("kahn_propagate")(
+            np.asarray(indptr, dtype=np.int64),
+            np.asarray(consumers, dtype=np.int64),
+            indegree, rank,
+        )
     return rank
 
 

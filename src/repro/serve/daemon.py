@@ -46,6 +46,7 @@ import threading
 import time
 from pathlib import Path
 
+from repro import kernels
 from repro.aig.aiger import dumps_aag, loads_aag
 from repro.core.api import Gamora, ReasoningOutcome, _as_aig
 from repro.serve.scheduler import (
@@ -105,12 +106,20 @@ class GamoraDaemon:
         self.saved_results = 0
         self.saved_graphs = 0
         self.spill_error: str | None = None
+        self.kernel_warmup: dict | None = None
         self._started_at: float | None = None
         self._closed = False
 
     # ------------------------------------------------------------------
     def start(self) -> "GamoraDaemon":
-        """Warm the caches from ``cache_dir`` and start scheduling."""
+        """Warm the kernel backend and the caches, then start scheduling.
+
+        The kernel warmup runs the selected backend over a tiny synthetic
+        AIG *before* the scheduler spins up (and hence before any socket
+        accepts): under numba that is where JIT compilation happens, so the
+        first real request never pays it.
+        """
+        self.kernel_warmup = kernels.warmup()
         if self.cache_dir is not None:
             self.loaded_results = self.service.load_result_cache(
                 self.cache_dir
@@ -178,6 +187,7 @@ class GamoraDaemon:
             "saved_results": self.saved_results,
             "saved_graphs": self.saved_graphs,
             "spill_error": self.spill_error,
+            "kernels": kernels.kernel_stats(),
         }
 
     # ------------------------------------------------------------------
@@ -191,7 +201,8 @@ class GamoraDaemon:
         request_id = message.get("id")
         op = message.get("op", "reason")
         if op == "ping":
-            return {"ok": True, "id": request_id, "pong": True}
+            return {"ok": True, "id": request_id, "pong": True,
+                    "kernel_backend": kernels.active_backend()}
         if op == "stats":
             return {"ok": True, "id": request_id, "stats": self.stats()}
         if op == "shutdown":

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.api import ReasoningOutcome, _as_aig
+from repro.kernels.registry import active_backend
 from repro.serve.service import ReasoningService
 from repro.utils.timing import Timer
 
@@ -103,6 +104,7 @@ class RequestStats:
     shard_index: int | None
     result_hit: bool
     streamed: bool  # forward pass ran level-windowed under a window budget
+    kernel_backend: str  # hot-path kernel backend that served the batch
     queue_wait_seconds: float
     service_seconds: float  # the group's reason_many wall clock
     total_seconds: float  # submit -> resolved
@@ -392,6 +394,7 @@ class MicroBatchScheduler:
                     shard_index=outcome.shard_index,
                     result_hit=hit,
                     streamed=outcome.streamed,
+                    kernel_backend=active_backend(),
                     queue_wait_seconds=popped_at - request.enqueued,
                     service_seconds=timer.elapsed,
                     total_seconds=time.monotonic() - request.enqueued,

@@ -212,6 +212,12 @@ def _normalize_options(root_filter: bool, correct_lsb: bool,
     bit-identical on the pairing stage, but legacy cut *verification*
     re-derives depth-bounded local cones that can diverge from the global
     sweep on boundary cases, so the two must not share entries.
+
+    The kernel *backend* (:mod:`repro.kernels` — numpy vs numba) must
+    NEVER enter this key: backends are differentially tested bit-identical,
+    so a result computed under one backend is the result under any other,
+    and runs under different backends share cache entries
+    (``tests/test_kernels.py`` pins this).
     """
     correct_lsb = bool(correct_lsb)
     return (bool(root_filter), correct_lsb,
