@@ -65,6 +65,21 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--kind", choices=["csa", "booth"], default="csa")
     train.add_argument("--model", choices=["shallow", "deep"], default="shallow")
     train.add_argument("--epochs", type=int, default=250)
+    train.add_argument("--max-window-bytes", type=int, default=None,
+                       help="memory budget per training window: epochs run "
+                            "level-windowed with gradient accumulation under "
+                            "this budget (default: one full-batch window)")
+    train.add_argument("--seed", type=int, default=None,
+                       help="window-order shuffle seed (default: the repo-wide "
+                            "deterministic seed)")
+    train.add_argument("--checkpoint-every", type=int, default=0,
+                       help="save a resumable checkpoint (weights + Adam "
+                            "moments + shuffle RNG) every N epochs; an "
+                            "existing checkpoint resumes the run "
+                            "bit-identically (0 disables)")
+    train.add_argument("--checkpoint", default=None,
+                       help="checkpoint path (default: <model_out>.ckpt when "
+                            "--checkpoint-every is set)")
 
     reason = sub.add_parser("reason", help="reason over a netlist with a model")
     reason.add_argument("model")
@@ -234,15 +249,34 @@ def _cmd_extract(args) -> int:
 
 def _cmd_train(args) -> int:
     from repro.core import Gamora
-    from repro.learn import TrainConfig
+    from repro.learn import TrainConfig, plan_training_windows
 
+    checkpoint = args.checkpoint
+    if checkpoint is None and args.checkpoint_every:
+        checkpoint = f"{args.model_out}.ckpt"
     gamora = Gamora(model=args.model,
-                    train_config=TrainConfig(epochs=args.epochs))
-    gamora.fit([make_multiplier(args.width, args.kind)])
+                    train_config=TrainConfig(
+                        epochs=args.epochs,
+                        max_window_bytes=args.max_window_bytes,
+                        seed=args.seed,
+                        checkpoint_every=args.checkpoint_every,
+                        checkpoint_path=checkpoint,
+                    ))
+    data = gamora.prepare(make_multiplier(args.width, args.kind))
+    plan = plan_training_windows(data, gamora.net, args.max_window_bytes)
+    if args.max_window_bytes is not None:
+        print(f"window plan: {plan.summary()}"
+              + ("" if plan.within_budget else " — OVER BUDGET"))
+    else:
+        print(f"window plan: full batch, 1 window, "
+              f"{plan.peak_window_bytes / 1024 ** 2:.1f}MiB estimated peak")
+    gamora.fit([data])
     gamora.save(args.model_out)
     final = gamora.history[-1]
     print(f"trained {gamora.net.describe()}")
-    print(f"final loss {final['loss']:.4f}, train accuracy {final['mean']:.4f}")
+    print(f"final loss {final['loss']:.4f}, train accuracy {final['mean']:.4f} "
+          f"({final['num_windows']} window(s), peak "
+          f"{final['peak_window_bytes'] / 1024 ** 2:.1f}MiB)")
     print(f"saved to {args.model_out}")
     return 0
 

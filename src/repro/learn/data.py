@@ -54,12 +54,20 @@ class Window:
     ``block_sizes[-1] == len(targets)``).  Only the *sizes* are stored —
     the executor recomputes the block index arrays per window, so a plan
     over a multi-million-node graph stays small.
+
+    Training plans additionally carry the window's share of the graph's
+    supervision: ``labels``/``mask`` are the per-target slices the trainer
+    feeds the loss, aligned row-for-row with ``targets`` (their combined
+    size across a plan equals the graph's, so this costs nothing extra).
+    Inference plans leave both ``None``.
     """
 
     targets: np.ndarray  # sorted node ids whose outputs this window owns
     block_sizes: list[int]  # |B_0| .. |B_K|, outermost first
     block_edges: list[int]  # sub-CSR nnz per conv layer (rows = B_{j+1})
     estimated_bytes: int  # analytic peak for this window
+    labels: dict[str, np.ndarray] | None = None  # task -> per-target labels
+    mask: np.ndarray | None = None  # per-target supervision mask
 
     @property
     def num_targets(self) -> int:
@@ -179,7 +187,18 @@ class GraphData:
             return self.levels
         return np.zeros(self.num_nodes, dtype=np.int64)
 
-    def window_plan(self, max_window_bytes: int, model) -> WindowPlan:
+    def _attach_training_slices(self, window: Window) -> Window:
+        """Fill a window's label/mask slices from this graph's supervision."""
+        if self.labels is not None:
+            window.labels = {
+                task: np.ascontiguousarray(array[window.targets])
+                for task, array in self.labels.items()
+            }
+        window.mask = np.ascontiguousarray(self.node_mask()[window.targets])
+        return window
+
+    def window_plan(self, max_window_bytes: int, model,
+                    training: bool = False) -> WindowPlan:
         """Slice this graph into memory-bounded streaming windows.
 
         Nodes are taken in topological-level-major order (stable, so window
@@ -190,6 +209,12 @@ class GraphData:
         ``max_window_bytes``.  ``model`` (a ``GamoraNet`` or compiled
         :class:`~repro.learn.fast.FastInference`) supplies the layer widths
         and dtype for the cost model and the hop count for the halo.
+
+        ``training=True`` prices each window with the backward-pass cost
+        model (tape activations + gradients + optimizer slots) instead of
+        the forward-only one, and attaches the per-window label/mask slices
+        the trainer's loss consumes — the same plan shape otherwise, so
+        trainer and streamed inference share one execution-plan machinery.
 
         Every window keeps at least two targets (a lone trailing node is
         folded into its neighbor): single-row float32 matmuls take BLAS's
@@ -216,7 +241,8 @@ class GraphData:
                 int((indptr[rows + 1] - indptr[rows]).sum())
                 for rows in blocks[1:]
             ]
-            cost = estimate_window_memory(model, sizes, edges)
+            cost = estimate_window_memory(model, sizes, edges,
+                                          training=training)
             return Window(targets, sizes, edges, int(cost))
 
         windows: list[Window] = []
@@ -250,9 +276,33 @@ class GraphData:
                 # shrink to leave a 2-node tail, or absorb the straggler.
                 size = size - 1 if size >= 3 else remaining
                 window = evaluate(pos, size)
+            if training:
+                self._attach_training_slices(window)
             windows.append(window)
             pos += size
         return WindowPlan(total, num_hops, int(max_window_bytes), windows)
+
+    def full_window_plan(self, model, training: bool = False) -> WindowPlan:
+        """The degenerate one-window plan: the whole graph as one window.
+
+        This is what the trainer runs when no byte budget is set — the
+        full-batch loop expressed as a trivial execution plan, so budgeted
+        and unbudgeted training share one epoch driver.  The budget is set
+        to the window's own estimated cost, so ``within_budget`` holds and
+        ``peak_window_bytes`` reports the full-batch footprint.
+        """
+        from repro.learn.infer import estimate_window_memory
+
+        num_hops = model.config.num_layers
+        sizes = [self.num_nodes] * (num_hops + 1)
+        edges = [self.num_edges] * num_hops
+        cost = int(estimate_window_memory(model, sizes, edges,
+                                          training=training))
+        window = Window(np.arange(self.num_nodes, dtype=np.int64),
+                        sizes, edges, cost)
+        if training:
+            self._attach_training_slices(window)
+        return WindowPlan(self.num_nodes, num_hops, cost, [window])
 
 
 def adjacency_operator(aig: AIG, direction: str = "in") -> sp.csr_matrix:

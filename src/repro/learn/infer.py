@@ -24,6 +24,7 @@ __all__ = [
     "estimate_inference_memory",
     "estimate_batch_memory",
     "estimate_window_memory",
+    "estimate_training_memory",
     "A100_MEMORY_BYTES",
 ]
 
@@ -182,7 +183,8 @@ def estimate_batch_memory(model: GamoraNet | FastInference,
 def estimate_window_memory(model: GamoraNet | FastInference,
                            block_sizes: list[int], block_edges: list[int],
                            bytes_per_value: int | None = None,
-                           index_bytes: int = 8) -> int:
+                           index_bytes: int = 8,
+                           training: bool = False) -> int:
     """Peak-resident bytes of one streamed window (analytic model).
 
     The window-plan twin of :func:`estimate_inference_memory`: node counts
@@ -195,6 +197,13 @@ def estimate_window_memory(model: GamoraNet | FastInference,
     grow every block — which is what lets
     :meth:`~repro.learn.data.GraphData.window_plan` binary-search window
     sizes against a byte budget.
+
+    With ``training=True`` the model prices the *backward* pass instead of
+    a forward-only sweep: the autodiff tape retains every layer's
+    intermediates simultaneously (layers sum instead of max), backward
+    materializes a same-shaped gradient for each retained activation, and
+    the parameter slots (gradient + both Adam moments) ride along.  This
+    is the cost the windowed trainer plans against.
     """
     (conv_widths, shared_width, heads_width, feature_dim,
      num_parameters, default_bpv) = _model_spec(model)
@@ -212,6 +221,33 @@ def estimate_window_memory(model: GamoraNet | FastInference,
         )
     targets = block_sizes[-1]
     total = block_sizes[0] * feature_dim * bytes_per_value  # gathered features
+    if training:
+        # Tape cost: every intermediate of every conv layer stays live
+        # until backward (gathered self rows, aggregated neighborhood,
+        # concat buffer, and the matmul/bias/relu output chain), and each
+        # gets a same-shaped gradient — hence the sum over layers and the
+        # final doubling.  Index arrays and sub-CSR slices are also pinned
+        # by the tape closures for the whole window.
+        activations = 0
+        for j, (layer_in, layer_out) in enumerate(conv_widths):
+            rows_in, rows_out = block_sizes[j], block_sizes[j + 1]
+            activations += (
+                rows_out * layer_in  # gathered self rows
+                + rows_out * layer_in  # aggregated neighborhood
+                + 2 * rows_out * layer_in  # concat buffer
+                + 3 * rows_out * layer_out  # matmul + bias + relu outputs
+            ) * bytes_per_value
+            total += block_edges[j] * (bytes_per_value + index_bytes)
+            total += (rows_out + 1) * index_bytes  # sub-CSR offsets
+            total += rows_in * index_bytes  # block index array
+        # Shared trunk (matmul + bias + relu) and per-head chain (matmul +
+        # bias + log-softmax output + its cached softmax), targets only.
+        activations += targets * 3 * shared_width * bytes_per_value
+        activations += targets * 4 * heads_width * bytes_per_value
+        total += 2 * activations  # every retained activation + its gradient
+        # Parameter, gradient, and the two Adam moment arrays.
+        total += num_parameters * bytes_per_value * 4
+        return int(total)
     peak_layer = 0
     width_in = feature_dim
     for j, (layer_in, layer_out) in enumerate(conv_widths):
@@ -233,3 +269,26 @@ def estimate_window_memory(model: GamoraNet | FastInference,
     total += max(peak_layer, shared_live, head_live)
     total += num_parameters * bytes_per_value
     return int(total)
+
+
+def estimate_training_memory(model: GamoraNet,
+                             num_nodes: int, num_edges: int,
+                             bytes_per_value: int | None = None,
+                             index_bytes: int = 8) -> int:
+    """Estimated peak bytes of one *full-batch* training epoch.
+
+    The degenerate-plan view of :func:`estimate_window_memory`: every halo
+    block is the whole node set and every sub-CSR slice is the whole
+    adjacency.  Benchmarks use this to pick the windowed trainer's byte
+    budget as a fraction of what the full-batch loop would need.
+    """
+    (conv_widths, _shared, _heads, _feature_dim,
+     _params, _bpv) = _model_spec(model)
+    return estimate_window_memory(
+        model,
+        [num_nodes] * (len(conv_widths) + 1),
+        [num_edges] * len(conv_widths),
+        bytes_per_value=bytes_per_value,
+        index_bytes=index_bytes,
+        training=True,
+    )

@@ -137,6 +137,40 @@ class GamoraNet(Module):
 
     __call__ = forward
 
+    def forward_window(self, features: Tensor | np.ndarray,
+                       adjacency: sp.spmatrix,
+                       targets: np.ndarray) -> dict[str, Tensor]:
+        """Log-probabilities for ``targets`` only, through their K-hop halo.
+
+        The training twin of the streamed inference pass: conv layer ``j``
+        reads halo block ``B_j`` and writes rows ``B_{j+1}``, so only one
+        window's activations (and, on backward, their gradients) are ever
+        resident.  Gradients flow to every parameter exactly as in
+        :meth:`forward` restricted to the window's receptive field, which
+        makes per-window losses accumulate to the full-batch gradient.
+
+        A window covering every node — the degenerate one-window plan —
+        falls through to :meth:`forward`, so full-batch training is the
+        same code path run on a trivial plan, at full-batch numerics.
+        """
+        from repro.learn.data import halo_blocks, sub_adjacency
+
+        features_arr = features.data if isinstance(features, Tensor) \
+            else np.asarray(features)
+        targets = np.asarray(targets, dtype=np.int64)
+        if targets.size == features_arr.shape[0]:
+            return self.forward(features, adjacency)
+        blocks = halo_blocks(adjacency, targets, self.config.num_layers)
+        hidden = Tensor(features_arr[blocks[0]])
+        for j, conv in enumerate(self.convs):
+            rows, cols = blocks[j + 1], blocks[j]
+            sub = sub_adjacency(adjacency, rows, cols)
+            self_index = np.searchsorted(cols, rows)
+            hidden = conv.forward_block(hidden, sub, self_index).relu()
+        shared = self.shared(hidden).relu()
+        return {task: head(shared).log_softmax()
+                for task, head in self.heads.items()}
+
     def predict(self, features: np.ndarray,
                 adjacency: sp.spmatrix) -> dict[str, np.ndarray]:
         """Hard label predictions per task (always the three-task view)."""

@@ -148,3 +148,21 @@ class SAGEConv(Module):
         return out
 
     __call__ = forward
+
+    def forward_block(self, x: Tensor, sub_adj: sp.spmatrix,
+                      self_index: np.ndarray) -> Tensor:
+        """Eq. (1) on one halo block of the windowed execution plan.
+
+        ``x`` holds the layer's input block (rows ``B_j``), ``sub_adj`` the
+        sub-CSR slice ``adjacency[B_{j+1}][:, B_j]``, and ``self_index``
+        locates the output rows ``B_{j+1}`` inside ``B_j`` — so the concat
+        pairs each output row's own embedding with its aggregated fan-in,
+        exactly as :meth:`forward` does on the full graph.  Gradients flow
+        through both the gather and the sparse product, which is what lets
+        windowed training accumulate full-batch-equivalent gradients.
+        """
+        neighborhood = spmm(sub_adj, x)
+        out = concat([x.take_rows(self_index), neighborhood], axis=1) @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out

@@ -10,7 +10,15 @@ __all__ = ["Optimizer", "SGD", "Adam"]
 
 
 class Optimizer:
-    """Base class: holds the parameter list and clears gradients."""
+    """Base class: holds the parameter list and clears gradients.
+
+    Gradient accumulation is first-class: ``backward()`` *adds* into
+    ``param.grad``, so several losses (e.g. one per streaming window) can
+    be backpropagated between a ``zero_grad()`` and the ``step()`` that
+    consumes their sum.  ``zero_grad`` therefore marks accumulation
+    boundaries, and ``step`` applies whatever has accumulated since the
+    last one — parameters whose grad is still ``None`` are left untouched.
+    """
 
     def __init__(self, parameters: list[Tensor], lr: float) -> None:
         if lr <= 0:
@@ -24,6 +32,30 @@ class Optimizer:
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def state_dict(self) -> dict:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def load_state_dict(self, state: dict) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _check_slot_arrays(self, name: str, arrays: list[np.ndarray]) -> list[np.ndarray]:
+        """Validate per-parameter slot arrays restored from a checkpoint."""
+        if len(arrays) != len(self.parameters):
+            raise ValueError(
+                f"{name}: expected {len(self.parameters)} arrays, "
+                f"got {len(arrays)}"
+            )
+        out = []
+        for index, (param, array) in enumerate(zip(self.parameters, arrays)):
+            array = np.asarray(array, dtype=np.float64)
+            if array.shape != param.data.shape:
+                raise ValueError(
+                    f"{name}[{index}]: shape {array.shape} != "
+                    f"{param.data.shape}"
+                )
+            out.append(array.copy())
+        return out
 
 
 class SGD(Optimizer):
@@ -48,6 +80,17 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data -= self.lr * grad
+
+    def state_dict(self) -> dict:
+        return {
+            "kind": "sgd",
+            "velocity": [v.copy() for v in self._velocity],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state.get("kind") != "sgd":
+            raise ValueError(f"not an SGD state dict: {state.get('kind')!r}")
+        self._velocity = self._check_slot_arrays("velocity", state["velocity"])
 
 
 class Adam(Optimizer):
@@ -81,3 +124,21 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        """Moments and step count — everything a bit-identical resume needs."""
+        return {
+            "kind": "adam",
+            "step_count": self._step_count,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state.get("kind") != "adam":
+            raise ValueError(f"not an Adam state dict: {state.get('kind')!r}")
+        m = self._check_slot_arrays("m", state["m"])
+        v = self._check_slot_arrays("v", state["v"])
+        self._step_count = int(state["step_count"])
+        self._m = m
+        self._v = v

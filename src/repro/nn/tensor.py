@@ -4,8 +4,8 @@ The paper trains GraphSAGE with PyTorch Geometric; this module provides the
 equivalent substrate without torch: a :class:`Tensor` wrapping an
 ``np.ndarray`` with a gradient tape.  The op set is deliberately small —
 exactly what multi-task GraphSAGE training needs (dense/sparse matmul,
-broadcasting add, ReLU, concat, log-softmax, NLL, dropout) — and every op's
-backward pass is finite-difference-checked in the test suite.
+broadcasting add, ReLU, concat, row gather, log-softmax, NLL, dropout) —
+and every op's backward pass is finite-difference-checked in the test suite.
 """
 
 from __future__ import annotations
@@ -174,6 +174,24 @@ class Tensor:
 
         return Tensor(out_data, needs, (self, other), backward)
 
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Differentiable row gather ``self[indices]`` (axis 0).
+
+        The windowed forward pass uses this to pull a halo block's output
+        rows out of its input block.  Backward scatter-adds the gradient
+        back onto the gathered rows (``np.add.at``, so repeated indices
+        accumulate correctly).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, indices, grad)
+                self._accumulate(full)
+
+        return Tensor(self.data[indices], self.requires_grad, (self,), backward)
+
     def relu(self) -> "Tensor":
         mask = self.data > 0
 
@@ -213,18 +231,25 @@ class Tensor:
         return Tensor(out_data, self.requires_grad, (self,), backward)
 
     def nll_loss(self, targets: np.ndarray,
-                 sample_weight: np.ndarray | None = None) -> "Tensor":
+                 sample_weight: np.ndarray | None = None,
+                 total_weight: float | None = None) -> "Tensor":
         """Mean negative log-likelihood of integer ``targets``.
 
         ``self`` holds log-probabilities of shape ``(N, C)``; optional
         ``sample_weight`` re-weights (or masks, with zeros) each row.
+
+        ``total_weight`` overrides the normalizer (default: the sum of the
+        sample weights).  Windowed training passes the *whole-graph* mask
+        total here so that the per-window losses — each computed over one
+        window's rows only — sum exactly to the full-batch loss, making
+        accumulate-all-then-step gradient-equivalent to a full-batch step.
         """
         targets = np.asarray(targets, dtype=np.int64)
         rows = np.arange(self.data.shape[0])
         if sample_weight is None:
             sample_weight = np.ones(self.data.shape[0])
         sample_weight = np.asarray(sample_weight, dtype=np.float64)
-        total = sample_weight.sum()
+        total = sample_weight.sum() if total_weight is None else float(total_weight)
         if total <= 0:
             raise ValueError("nll_loss needs positive total sample weight")
         picked = self.data[rows, targets]
