@@ -108,9 +108,21 @@ def _parse_header(line: str) -> tuple[int, int, int, int, int]:
     parts = line.split()
     if len(parts) != 6 or parts[0] not in ("aag", "aig"):
         raise ValueError(f"malformed AIGER header: {line!r}")
-    max_var, num_in, num_latch, num_out, num_and = (int(p) for p in parts[1:])
+    try:
+        max_var, num_in, num_latch, num_out, num_and = (
+            int(p) for p in parts[1:]
+        )
+    except ValueError:
+        raise ValueError(f"non-numeric AIGER header field: {line!r}") from None
+    if min(max_var, num_in, num_latch, num_out, num_and) < 0:
+        raise ValueError(f"negative count in AIGER header: {line!r}")
     if num_latch:
         raise ValueError("sequential AIGER (latches) is not supported")
+    if num_in + num_and > max_var:
+        raise ValueError(
+            f"AIGER header claims {num_in} inputs + {num_and} ANDs "
+            f"but only {max_var} variables: {line!r}"
+        )
     return max_var, num_in, num_latch, num_out, num_and
 
 
@@ -142,23 +154,79 @@ def _translate(lit: int, lit_map: dict[int, int]) -> int:
     return lit_not(var_lit) if lit & 1 else var_lit
 
 
+def _take_line(lines: list[str], cursor: int, what: str) -> str:
+    """The next definition line, or a clear error for truncated input."""
+    if cursor >= len(lines):
+        raise ValueError(
+            f"truncated AIGER input: expected {what} on line {cursor + 1}"
+        )
+    return lines[cursor]
+
+
+def _take_int(line: str, what: str) -> int:
+    """The line's single leading integer, validated as a literal."""
+    fields = line.split()
+    if not fields:
+        raise ValueError(f"blank AIGER line where {what} was expected")
+    try:
+        value = int(fields[0])
+    except ValueError:
+        raise ValueError(
+            f"non-numeric AIGER {what}: {fields[0]!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"negative AIGER {what}: {value}")
+    return value
+
+
 def _parse_ascii(lines: list[str], name: str) -> AIG:
     max_var, num_in, _latches, num_out, num_and = _parse_header(lines[0])
     aig = AIG(name=name)
     lit_map: dict[int, int] = {0: 0}
     cursor = 1
     for _ in range(num_in):
-        file_lit = int(lines[cursor].split()[0])
-        lit_map[file_lit & ~1] = aig.add_input()
+        file_lit = _take_int(_take_line(lines, cursor, "an input literal"),
+                             "input literal")
+        if file_lit < 2 or file_lit & 1:
+            raise ValueError(
+                f"invalid AIGER input literal {file_lit}: inputs must be "
+                "positive even literals"
+            )
+        if file_lit in lit_map:
+            raise ValueError(f"duplicate AIGER definition of literal {file_lit}")
+        lit_map[file_lit] = aig.add_input()
         cursor += 1
     output_lits = []
     for _ in range(num_out):
-        output_lits.append(int(lines[cursor].split()[0]))
+        output_lits.append(
+            _take_int(_take_line(lines, cursor, "an output literal"),
+                      "output literal")
+        )
         cursor += 1
     for _ in range(num_and):
-        lhs, rhs0, rhs1 = (int(p) for p in lines[cursor].split())
+        fields = _take_line(lines, cursor, "an AND definition").split()
+        if len(fields) != 3:
+            raise ValueError(
+                f"malformed AIGER AND line (need 'lhs rhs0 rhs1'): "
+                f"{lines[cursor]!r}"
+            )
+        try:
+            lhs, rhs0, rhs1 = (int(p) for p in fields)
+        except ValueError:
+            raise ValueError(
+                f"non-numeric AIGER AND line: {lines[cursor]!r}"
+            ) from None
         cursor += 1
-        lit_map[lhs & ~1] = aig.add_and(
+        if lhs < 2 or lhs & 1:
+            raise ValueError(
+                f"invalid AIGER AND literal {lhs}: definitions must be "
+                "positive even literals"
+            )
+        if min(rhs0, rhs1) < 0:
+            raise ValueError(f"negative fan-in literal in AND {lhs}")
+        if lhs in lit_map:
+            raise ValueError(f"duplicate AIGER definition of literal {lhs}")
+        lit_map[lhs] = aig.add_and(
             _translate(rhs0, lit_map), _translate(rhs1, lit_map)
         )
     for lit in output_lits:
@@ -187,8 +255,16 @@ def _parse_binary(data: bytes, name: str) -> AIG:
     for _ in range(num_out):
         line = b""
         while not line.endswith(b"\n"):
-            line += stream.read(1)
-        output_lits.append(int(line.strip()))
+            byte = stream.read(1)
+            if not byte:  # EOF mid-line: would loop forever otherwise
+                raise ValueError("truncated binary AIGER file")
+            line += byte
+        try:
+            output_lits.append(int(line.strip()))
+        except ValueError:
+            raise ValueError(
+                f"non-numeric binary AIGER output literal: {line!r}"
+            ) from None
 
     for index in range(num_and):
         lhs = 2 * (num_in + index + 1)

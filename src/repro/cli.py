@@ -175,6 +175,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "env var, else auto = numba when installed); the "
                             "daemon JIT-warms the backend before the socket "
                             "accepts")
+    serve.add_argument("--default-deadline-ms", type=float, default=None,
+                       help="deadline applied to requests that do not carry "
+                            "their own deadline_ms: a request still queued "
+                            "past it is dropped at dequeue (no forward pass) "
+                            "and answered with a retriable deadline_exceeded "
+                            "error (default: no deadline)")
+    serve.add_argument("--fault-plan", default=None,
+                       help="fault-injection plan for chaos testing: inline "
+                            "JSON or a path to a JSON file (see "
+                            "repro.serve.resilience.FaultPlan); also "
+                            "settable via REPRO_FAULT_PLAN")
+    serve.add_argument("--watchdog-timeout-s", type=float, default=300.0,
+                       help="fail queued requests (retriable) when the "
+                            "scheduler loop's heartbeat is older than this "
+                            "while work is waiting; 0 disables the watchdog")
 
     tmap = sub.add_parser("map", help="technology-map a netlist")
     tmap.add_argument("netlist")
@@ -297,7 +312,8 @@ def _cmd_reason(args) -> int:
     return 0
 
 
-def _check_cache_dir(cache_dir: str, command: str) -> str | None:
+def _check_cache_dir(cache_dir: str, command: str,
+                     daemon_quarantines: bool = False) -> str | None:
     """Fail-fast precheck for a persistent cache directory.
 
     Ownership first (the same rule ``save_result_cache`` enforces — a
@@ -308,14 +324,34 @@ def _check_cache_dir(cache_dir: str, command: str) -> str | None:
     the one-line error already printed to stderr, or ``None`` when the
     directory is usable.  Shared by ``batch-reason`` and ``serve`` so
     the two flows can never drift.
+
+    ``daemon_quarantines=True`` (the serve path) lets a directory whose
+    *own marker* is corrupt pass the precheck: ``GamoraDaemon.start``
+    quarantines it — renamed aside, served cold — because a long-running
+    service must degrade on a damaged cache, not refuse to boot.
+    Directories holding foreign, unmarked payloads still fail fast
+    either way; they are never touched.
     """
     from repro.serve import ReasoningService
 
-    error = ReasoningService.validate_cache_dir(cache_dir)
+    cache_path = Path(cache_dir)
+
+    def _validate(validator, directory, marker_name) -> str | None:
+        try:
+            problem = validator(directory)
+        except Exception as exc:  # unreadable dir: validation itself died
+            problem = f"{type(exc).__name__}: {exc}"
+        if (problem is not None and daemon_quarantines
+                and (Path(directory) / marker_name).is_file()):
+            return None  # our own (corrupt) stamp: the daemon quarantines
+        return problem
+
+    error = _validate(ReasoningService.validate_cache_dir, cache_dir,
+                      ReasoningService._MODEL_MARKER)
     if error is None:
-        error = ReasoningService.validate_graph_cache_dir(
-            Path(cache_dir) / "graphs"
-        )
+        error = _validate(ReasoningService.validate_graph_cache_dir,
+                          cache_path / "graphs",
+                          ReasoningService._GRAPH_MARKER)
     if error is None:
         try:
             cache_path = Path(cache_dir)
@@ -402,12 +438,22 @@ def _cmd_batch_reason(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.core import Gamora
-    from repro.serve import DaemonServer, GamoraDaemon
+    import signal
+    import threading
 
-    if args.cache_dir and _check_cache_dir(args.cache_dir,
-                                           "serve") is not None:
+    from repro.core import Gamora
+    from repro.serve import DaemonServer, FaultPlan, GamoraDaemon
+
+    if args.cache_dir and _check_cache_dir(args.cache_dir, "serve",
+                                           daemon_quarantines=True) is not None:
         return 2
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.from_json(args.fault_plan)
+        except (OSError, ValueError) as error:
+            print(f"serve: invalid --fault-plan: {error}", file=sys.stderr)
+            return 2
     _select_kernel(args)
     gamora = Gamora.load(args.model)
     daemon = GamoraDaemon(
@@ -424,6 +470,9 @@ def _cmd_serve(args) -> int:
         postprocess_workers=args.postprocess_workers,
         engine=args.engine,
         with_report=not args.no_report,
+        default_deadline_ms=args.default_deadline_ms,
+        watchdog_timeout_seconds=args.watchdog_timeout_s or None,
+        fault_plan=fault_plan,
     )
     daemon.start()
     warm = daemon.kernel_warmup
@@ -432,14 +481,36 @@ def _cmd_serve(args) -> int:
     if args.cache_dir:
         print(f"warm caches: {daemon.loaded_results} results, "
               f"{daemon.loaded_graphs} graphs from {args.cache_dir}")
+        for moved in daemon.quarantined:
+            print(f"serve: quarantined corrupt cache dir: {moved}",
+                  file=sys.stderr)
+    if fault_plan is not None:
+        print(f"fault injection armed: {fault_plan!r}", file=sys.stderr)
     server = DaemonServer(daemon, args.socket)
     server.start()
+
+    # SIGTERM (systemd stop, docker stop, kill) must be as graceful as a
+    # client-requested shutdown: release serve_forever so the finally
+    # block drains the queue and spills the caches.  SIGINT in a terminal
+    # arrives as KeyboardInterrupt and is handled below; under a signal
+    # handler (non-main-thread embedding never installs one) both behave
+    # identically.
+    def _graceful_shutdown(signum, frame) -> None:
+        print(f"received signal {signum}; draining and shutting down",
+              file=sys.stderr, flush=True)
+        server._shutdown.set()
+
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, _graceful_shutdown)
+        signal.signal(signal.SIGINT, _graceful_shutdown)
+
     print(f"serving on {args.socket} "
           f"(window {args.batch_window_ms:.1f}ms, max batch "
           f"{args.max_batch}, queue depth {args.max_queue_depth})",
           flush=True)
     try:
-        # Returns when a client sends {"op": "shutdown"}; Ctrl-C works too.
+        # Returns when a client sends {"op": "shutdown"}, a SIGTERM/SIGINT
+        # lands, or (without the handlers installed) Ctrl-C raises.
         server.serve_forever()
     except KeyboardInterrupt:
         print("interrupted; shutting down", file=sys.stderr)
@@ -451,7 +522,9 @@ def _cmd_serve(args) -> int:
           f"{snapshot['batches']} micro-batches "
           f"({snapshot['result_hits']} cache hits, "
           f"{snapshot['rejected']} rejected, "
-          f"{snapshot['num_shards']} forward passes)")
+          f"{snapshot['expired']} expired, "
+          f"{snapshot['num_shards']} forward passes, "
+          f"{daemon.dropped_responses} dropped responses)")
     if args.cache_dir:
         if daemon.spill_error is not None:
             print(f"serve: cache spill failed: {daemon.spill_error}",

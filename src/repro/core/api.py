@@ -45,7 +45,10 @@ class ReasoningOutcome:
     the outcome was served from the result cache or came from the
     sequential path).  ``streamed`` is True when the forward pass ran
     window-by-window under a ``max_window_bytes`` budget (labels are
-    bit-identical to the full-graph pass either way).
+    bit-identical to the full-graph pass either way).  ``degraded`` is
+    True when the full-graph pass raised :class:`MemoryError` and the
+    outcome was served by the streamed fallback at a halved budget —
+    same answer, produced the resilient way.
     """
 
     extraction: PredictedExtraction
@@ -55,6 +58,7 @@ class ReasoningOutcome:
     report: "WordLevelReport | None" = None
     shard_index: int | None = None
     streamed: bool = False
+    degraded: bool = False
 
     @property
     def tree(self):

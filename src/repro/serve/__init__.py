@@ -21,6 +21,15 @@ across requests (and across restarts, via the persistent spill),
 concurrent requests into shared ``reason_many`` micro-batches, and
 ``DaemonServer``/``SocketDaemonClient`` speak line-delimited JSON over a
 Unix domain socket (``python -m repro serve``).
+
+Resilience (:mod:`repro.serve.resilience`) makes the stack's failure
+behavior first-class: requests carry deadlines that the scheduler honors
+at dequeue, clients retry retriable errors under a jittered
+``RetryPolicy``, a deterministic ``FaultPlan`` injects crashes / slow
+stages / socket drops / cache corruption / OOMs at named fault points for
+chaos testing, and degradation paths (streamed OOM fallback, cache
+quarantine, scheduler watchdog) keep the daemon answering when parts of
+it misbehave.
 """
 
 from repro.serve.cache import StructuralHashCache, exact_fingerprint
@@ -29,6 +38,14 @@ from repro.serve.daemon import (
     DaemonServer,
     GamoraDaemon,
     SocketDaemonClient,
+)
+from repro.serve.resilience import (
+    DeadlineExceededError,
+    FaultPlan,
+    InjectedFaultError,
+    RetryPolicy,
+    SchedulerWedgedError,
+    Watchdog,
 )
 from repro.serve.scheduler import (
     MicroBatchScheduler,
@@ -62,4 +79,10 @@ __all__ = [
     "DaemonClient",
     "DaemonServer",
     "SocketDaemonClient",
+    "DeadlineExceededError",
+    "FaultPlan",
+    "InjectedFaultError",
+    "RetryPolicy",
+    "SchedulerWedgedError",
+    "Watchdog",
 ]

@@ -27,6 +27,7 @@ Three client surfaces, strictest parity between them:
 Wire protocol (one JSON object per ``\\n``-terminated line)::
 
     {"op": "reason", "id": "req-1", "netlist": "<AIGER ascii>",
+     "deadline_ms": 5000,
      "options": {"root_filter": false, "correct_lsb": true,
                  "lsb_outputs": 4, "engine": "fast"}}
     {"op": "stats"}
@@ -36,6 +37,13 @@ Wire protocol (one JSON object per ``\\n``-terminated line)::
 Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error":
 {"type": ..., "retriable": ..., "message": ...}}``; a full queue maps to
 ``type="queue_full", retriable=true`` so clients can back off and retry.
+``deadline_ms`` (optional, or the daemon's ``--default-deadline-ms``) is
+the caller's total patience: a request still queued past it is dropped at
+dequeue — its forward pass never runs — and answered with the retriable
+``deadline_exceeded`` error.  :class:`SocketDaemonClient` ships with a
+:class:`~repro.serve.resilience.RetryPolicy` that transparently retries
+retriable errors and broken sockets (reconnecting first), so transient
+backpressure and daemon restarts look like latency, not failures.
 """
 
 from __future__ import annotations
@@ -44,11 +52,19 @@ import json
 import socket
 import threading
 import time
+import warnings
 from pathlib import Path
 
 from repro import kernels
 from repro.aig.aiger import dumps_aag, loads_aag
 from repro.core.api import Gamora, ReasoningOutcome, _as_aig
+from repro.serve import resilience
+from repro.serve.resilience import (
+    DeadlineExceededError,
+    FaultPlan,
+    RetryPolicy,
+    Watchdog,
+)
 from repro.serve.scheduler import (
     MicroBatchScheduler,
     QueueFullError,
@@ -86,7 +102,10 @@ class GamoraDaemon:
                  max_shard_bytes: int | None = None,
                  max_window_bytes: int | None = None,
                  postprocess_workers: int | None = None,
-                 engine: str = "fast", with_report: bool = True) -> None:
+                 engine: str = "fast", with_report: bool = True,
+                 default_deadline_ms: float | None = None,
+                 watchdog_timeout_seconds: float | None = 300.0,
+                 fault_plan: FaultPlan | None = None) -> None:
         self.service = ReasoningService(
             gamora, graph_cache_size=graph_cache_size,
             result_cache_size=result_cache_size,
@@ -101,14 +120,30 @@ class GamoraDaemon:
         )
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.default_engine = engine
+        self.default_deadline_ms = (float(default_deadline_ms)
+                                    if default_deadline_ms is not None
+                                    else None)
+        self.fault_plan = fault_plan
+        self.watchdog: Watchdog | None = (
+            Watchdog(self.scheduler, watchdog_timeout_seconds)
+            if watchdog_timeout_seconds else None
+        )
         self.loaded_results = 0
         self.loaded_graphs = 0
         self.saved_results = 0
         self.saved_graphs = 0
         self.spill_error: str | None = None
+        self.quarantined: list[str] = []  # cache dirs renamed aside on start
+        self.dropped_responses = 0  # computed answers the client never read
         self.kernel_warmup: dict | None = None
         self._started_at: float | None = None
         self._closed = False
+        self._drop_lock = threading.Lock()
+
+    def note_dropped_response(self) -> None:
+        """Count a computed response the client never read (server-side)."""
+        with self._drop_lock:
+            self.dropped_responses += 1
 
     # ------------------------------------------------------------------
     def start(self) -> "GamoraDaemon":
@@ -118,18 +153,91 @@ class GamoraDaemon:
         AIG *before* the scheduler spins up (and hence before any socket
         accepts): under numba that is where JIT compilation happens, so the
         first real request never pays it.
+
+        A cache directory that turns out corrupt or unreadable is
+        *quarantined* — renamed aside, recorded in ``quarantined``, a
+        warning emitted — and the daemon serves cold from a fresh
+        directory.  Losing warmth is a degradation; refusing to boot (or
+        crashing on the close-time spill into a poisoned directory) would
+        be an outage.
         """
+        if self.fault_plan is not None:
+            resilience.install_plan(self.fault_plan)
         self.kernel_warmup = kernels.warmup()
         if self.cache_dir is not None:
-            self.loaded_results = self.service.load_result_cache(
-                self.cache_dir
+            self.loaded_results = self._load_or_quarantine(
+                self.cache_dir, self.service.validate_cache_dir,
+                self.service.load_result_cache, "result-cache",
+                self.service._MODEL_MARKER,
             )
-            self.loaded_graphs = self.service.load_graph_cache(
-                self.cache_dir / GRAPHS_SUBDIR
+            self.loaded_graphs = self._load_or_quarantine(
+                self.cache_dir / GRAPHS_SUBDIR,
+                self.service.validate_graph_cache_dir,
+                self.service.load_graph_cache, "graph-cache",
+                self.service._GRAPH_MARKER,
             )
         self.scheduler.start()
+        if self.watchdog is not None:
+            self.watchdog.start()
         self._started_at = time.monotonic()
         return self
+
+    def _load_or_quarantine(self, directory: Path, validate, load,
+                            what: str, marker_name: str) -> int:
+        """Preload one cache dir, renaming it aside if it can't be trusted.
+
+        Quarantined means: our marker file is present but fails validation
+        (a corrupted or mismatched stamp — the directory *was* ours), or
+        loading raises.  The rename keeps the bytes for post-mortem while
+        freeing the path, so the close-time spill recreates a healthy
+        directory in its place.  A directory with foreign payloads and
+        *no* marker of ours is someone else's data: it is never touched —
+        we warn, serve cold, and let the close-time spill record the
+        refusal in ``spill_error``.
+        """
+        if not directory.exists():
+            return 0
+        try:
+            resilience.fire("cache.load")  # chaos: unreadable cache dir
+            error = validate(directory)
+            if error is None:
+                return load(directory)
+            if not (directory / marker_name).is_file():
+                warnings.warn(
+                    f"not loading foreign {what} dir {directory} ({error}); "
+                    "serving cold",
+                    RuntimeWarning, stacklevel=2,
+                )
+                return 0
+        except Exception as exc:  # noqa: BLE001 - any load failure degrades
+            error = f"{type(exc).__name__}: {exc}"
+        quarantine = directory.with_name(
+            f"{directory.name}.quarantined.{int(time.time())}"
+        )
+        suffix = 0
+        while quarantine.exists():
+            suffix += 1
+            quarantine = directory.with_name(f"{quarantine.name}.{suffix}")
+        try:
+            directory.rename(quarantine)
+        except OSError as rename_error:
+            # Can't even rename it: serve cold and leave it untouched —
+            # the spill on close will fail too, recorded in spill_error.
+            warnings.warn(
+                f"corrupt {what} dir {directory} could not be quarantined "
+                f"({rename_error}); serving cold without persistence: "
+                f"{error}",
+                RuntimeWarning, stacklevel=2,
+            )
+            self.quarantined.append(str(directory))
+            return 0
+        warnings.warn(
+            f"quarantined corrupt {what} dir: {directory} -> {quarantine} "
+            f"({error}); serving cold",
+            RuntimeWarning, stacklevel=2,
+        )
+        self.quarantined.append(str(quarantine))
+        return 0
 
     def close(self) -> None:
         """Drain the queue, stop scheduling, spill the caches. Idempotent.
@@ -141,6 +249,8 @@ class GamoraDaemon:
         if self._closed:
             return
         self._closed = True
+        if self.watchdog is not None:
+            self.watchdog.stop()
         self.scheduler.stop(drain=True)
         if self.cache_dir is not None:
             try:
@@ -150,6 +260,11 @@ class GamoraDaemon:
                 self.saved_graphs = self.service.save_graph_cache(
                     self.cache_dir / GRAPHS_SUBDIR
                 )
+                if resilience.fire("cache.spill") == "corrupt":
+                    # Chaos: garbage the ownership stamp so the *next*
+                    # boot faces a corrupt directory (and must quarantine).
+                    marker = self.cache_dir / self.service._MODEL_MARKER
+                    marker.write_text("corrupted-by-fault-injection\n")
             except OSError as error:
                 self.spill_error = str(error)
 
@@ -187,6 +302,12 @@ class GamoraDaemon:
             "saved_results": self.saved_results,
             "saved_graphs": self.saved_graphs,
             "spill_error": self.spill_error,
+            "quarantined": list(self.quarantined),
+            "dropped_responses": self.dropped_responses,
+            "default_deadline_ms": self.default_deadline_ms,
+            "watchdog": (self.watchdog.stats()
+                         if self.watchdog is not None else None),
+            "faults": resilience.fault_stats(),
             "kernels": kernels.kernel_stats(),
         }
 
@@ -219,7 +340,11 @@ class GamoraDaemon:
                                    "missing 'netlist' (AIGER ascii text)")
         try:
             aig = loads_aag(netlist, name=str(request_id or "request"))
-        except (ValueError, IndexError) as error:
+        except Exception as error:
+            # The netlist is client-supplied bytes: *whatever* the parser
+            # raised on it — ValueError from the validators, IndexError or
+            # anything else from a path the fuzzer found first — is the
+            # client's malformed input, never our internal failure.
             return _error_response(request_id, "bad_request",
                                    f"unparsable netlist: {error}")
         options = message.get("options") or {}
@@ -233,19 +358,39 @@ class GamoraDaemon:
                 request_id, "bad_request",
                 f"unknown options: {sorted(unknown)}",
             )
+        deadline_ms = message.get("deadline_ms", self.default_deadline_ms)
+        if deadline_ms is not None:
+            if (isinstance(deadline_ms, bool)
+                    or not isinstance(deadline_ms, (int, float))
+                    or deadline_ms <= 0):
+                return _error_response(
+                    request_id, "bad_request",
+                    f"'deadline_ms' must be a positive number, "
+                    f"got {deadline_ms!r}",
+                )
+            deadline_ms = float(deadline_ms)
         try:
             outcome, stats = self.submit(
                 aig, str(request_id) if request_id is not None else None,
-                **options,
+                deadline_ms=deadline_ms, **options,
             )
         except QueueFullError as error:
             return _error_response(request_id, "queue_full", str(error),
                                    retriable=True)
+        except DeadlineExceededError as error:
+            return _error_response(request_id, "deadline_exceeded",
+                                   str(error), retriable=True)
         except SchedulerClosedError as error:
             return _error_response(request_id, "shutting_down", str(error))
         except Exception as error:
-            return _error_response(request_id, "internal",
-                                   f"{type(error).__name__}: {error}")
+            # Typed errors may self-declare retriability (e.g. the
+            # watchdog's SchedulerWedgedError); everything else is
+            # terminal for this payload.
+            return _error_response(
+                request_id, "internal",
+                f"{type(error).__name__}: {error}",
+                retriable=bool(getattr(error, "retriable", False)),
+            )
         return {
             "ok": True,
             "id": stats.request_id,
@@ -287,28 +432,57 @@ def _outcome_payload(outcome: ReasoningOutcome) -> dict:
     return payload
 
 
+def _reason_message(circuit, request_id, deadline_ms, options) -> dict:
+    """The wire ``reason`` message both clients build identically."""
+    netlist = circuit if isinstance(circuit, str) else dumps_aag(
+        _as_aig(circuit)
+    )
+    message = {"op": "reason", "netlist": netlist}
+    if request_id is not None:
+        message["id"] = request_id
+    if deadline_ms is not None:
+        message["deadline_ms"] = deadline_ms
+    if options:
+        message["options"] = options
+    return message
+
+
+def _response_retriable(response) -> bool:
+    """Whether an ``{"ok": false}`` envelope invites another attempt."""
+    if not isinstance(response, dict) or response.get("ok", False):
+        return False
+    error = response.get("error")
+    return isinstance(error, dict) and bool(error.get("retriable"))
+
+
 class DaemonClient:
     """In-process protocol client: same messages, no socket.
 
     Circuits are serialized to AIGER text and parsed back on the daemon
     side, exactly like wire traffic — tests exercising this client cover
     the full protocol path minus the file descriptors.
+
+    ``retry=RetryPolicy(...)`` makes :meth:`reason` re-attempt retriable
+    error envelopes (``queue_full``, ``deadline_exceeded``) with
+    backoff; the default (``None``) surfaces them to the caller
+    unchanged, preserving the raw protocol view.
     """
 
-    def __init__(self, daemon: GamoraDaemon) -> None:
+    def __init__(self, daemon: GamoraDaemon,
+                 retry: RetryPolicy | None = None) -> None:
         self.daemon = daemon
+        self.retry = retry
 
     def reason(self, circuit, request_id: str | None = None,
-               **options) -> dict:
-        netlist = circuit if isinstance(circuit, str) else dumps_aag(
-            _as_aig(circuit)
+               deadline_ms: float | None = None, **options) -> dict:
+        message = _reason_message(circuit, request_id, deadline_ms, options)
+        if self.retry is None:
+            return self.daemon.handle(message)
+        budget = deadline_ms / 1000.0 if deadline_ms is not None else None
+        return self.retry.call(
+            lambda: self.daemon.handle(message),
+            retriable_fn=_response_retriable, budget_seconds=budget,
         )
-        message = {"op": "reason", "netlist": netlist}
-        if request_id is not None:
-            message["id"] = request_id
-        if options:
-            message["options"] = options
-        return self.daemon.handle(message)
 
     def stats(self) -> dict:
         return self.daemon.handle({"op": "stats"})
@@ -418,45 +592,137 @@ class DaemonServer:
                 else:
                     response = self.daemon.handle(message)
                 try:
+                    # Chaos: a "drop" rule models the connection dying
+                    # between computation and delivery — close without
+                    # sending, exactly what a mid-response reset looks
+                    # like from the daemon's side.
+                    if resilience.fire("server.send") == "drop":
+                        raise OSError("injected mid-response socket drop")
                     connection.sendall(
                         (json.dumps(response) + "\n").encode("utf-8")
                     )
                 except OSError:
-                    return  # client went away mid-response
+                    # The client went away after we did the work.  The
+                    # result is already in the warm cache, so a retry is
+                    # nearly free — count it, don't raise into the
+                    # connection thread.
+                    self.daemon.note_dropped_response()
+                    return
                 if isinstance(message, dict) and message.get("op") == "shutdown":
                     self._shutdown.set()
                     return
 
 
 class SocketDaemonClient:
-    """Blocking client for :class:`DaemonServer`'s wire protocol."""
+    """Blocking client for :class:`DaemonServer`'s wire protocol.
+
+    Resilient by default: every request runs under ``retry`` (a default
+    :class:`~repro.serve.resilience.RetryPolicy` unless overridden), so
+    retriable error envelopes (``queue_full``, ``deadline_exceeded``) and
+    broken/reset/closed sockets are retried with exponential backoff and
+    full jitter — reconnecting first when the transport failed.  A
+    request carrying ``deadline_ms`` also uses it as the retry budget: no
+    backoff sleep is taken that could not finish inside the deadline.
+    Pass ``retry=None`` explicitly for the raw single-attempt protocol
+    view (``retriable_errors`` counts what the policy absorbed either
+    way).
+    """
+
+    _NO_RETRY = object()  # sentinel: None is a meaningful "no retries"
 
     def __init__(self, socket_path: str | Path,
-                 timeout: float | None = 60.0) -> None:
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._sock.settimeout(timeout)
-        self._sock.connect(str(socket_path))
-        self._reader = self._sock.makefile("r", encoding="utf-8")
+                 timeout: float | None = 60.0,
+                 retry: RetryPolicy | None = _NO_RETRY) -> None:
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+        self.retry = (RetryPolicy() if retry is SocketDaemonClient._NO_RETRY
+                      else retry)
+        self.retriable_errors = 0  # transport failures + retriable envelopes
+        self.reconnects = 0
+        self._sock: socket.socket | None = None
+        self._reader = None
+        self._connect()
 
-    def request(self, message: dict) -> dict:
-        """Send one message dict, block for its one-line response."""
-        self._sock.sendall((json.dumps(message) + "\n").encode("utf-8"))
-        line = self._reader.readline()
+    def _connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.socket_path)
+        except OSError:
+            sock.close()
+            raise
+        self._sock = sock
+        self._reader = sock.makefile("r", encoding="utf-8")
+
+    def _disconnect(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _request_once(self, message: dict) -> dict:
+        if self._sock is None:
+            self._connect()
+            self.reconnects += 1
+        try:
+            self._sock.sendall((json.dumps(message) + "\n").encode("utf-8"))
+            line = self._reader.readline()
+        except OSError:
+            # Broken transport: drop the socket so the next attempt (ours
+            # or the caller's) starts from a clean reconnect.
+            self._disconnect()
+            raise
         if not line:
+            self._disconnect()
             raise ConnectionError("daemon closed the connection")
         return json.loads(line)
 
+    def request(self, message: dict) -> dict:
+        """Send one message dict, block for its one-line response.
+
+        With a retry policy armed, transport failures (``OSError``,
+        reset/closed connections — but not timeouts, which may mean the
+        work is still running) and retriable error envelopes are retried;
+        the message's ``deadline_ms``, if any, caps the total backoff.
+        """
+        if self.retry is None:
+            return self._request_once(message)
+        deadline_ms = message.get("deadline_ms")
+        budget = (deadline_ms / 1000.0
+                  if isinstance(deadline_ms, (int, float)) else None)
+
+        def retriable(outcome) -> bool:
+            if isinstance(outcome, BaseException):
+                # A timed-out socket is ambiguous (the daemon may still be
+                # computing); resending would double the work.  Everything
+                # else transport-shaped gets a reconnect + retry.
+                verdict = (isinstance(outcome, OSError)
+                           and not isinstance(outcome, TimeoutError))
+            else:
+                verdict = _response_retriable(outcome)
+            self.retriable_errors += verdict
+            return verdict
+
+        return self.retry.call(self._request_once_for(message),
+                               retriable_fn=retriable,
+                               budget_seconds=budget)
+
+    def _request_once_for(self, message: dict):
+        return lambda: self._request_once(message)
+
     def reason(self, circuit, request_id: str | None = None,
-               **options) -> dict:
-        netlist = circuit if isinstance(circuit, str) else dumps_aag(
-            _as_aig(circuit)
+               deadline_ms: float | None = None, **options) -> dict:
+        return self.request(
+            _reason_message(circuit, request_id, deadline_ms, options)
         )
-        message = {"op": "reason", "netlist": netlist}
-        if request_id is not None:
-            message["id"] = request_id
-        if options:
-            message["options"] = options
-        return self.request(message)
 
     def stats(self) -> dict:
         return self.request({"op": "stats"})
@@ -468,10 +734,7 @@ class SocketDaemonClient:
         return self.request({"op": "shutdown"})
 
     def close(self) -> None:
-        try:
-            self._reader.close()
-        finally:
-            self._sock.close()
+        self._disconnect()
 
     def __enter__(self) -> "SocketDaemonClient":
         return self

@@ -47,6 +47,8 @@ from pathlib import Path
 
 from repro.core.api import ReasoningOutcome, _as_aig
 from repro.kernels.registry import active_backend
+from repro.serve import resilience
+from repro.serve.resilience import DeadlineExceededError
 from repro.serve.service import ReasoningService
 from repro.utils.timing import Timer
 
@@ -104,8 +106,10 @@ class RequestStats:
     shard_index: int | None
     result_hit: bool
     streamed: bool  # forward pass ran level-windowed under a window budget
+    degraded: bool  # full pass OOMed; served by the streamed fallback
     kernel_backend: str  # hot-path kernel backend that served the batch
     queue_wait_seconds: float
+    deadline_ms: float | None  # the caller's deadline, if it set one
     service_seconds: float  # the group's reason_many wall clock
     total_seconds: float  # submit -> resolved
     batch_stats: dict
@@ -161,14 +165,18 @@ class RequestTicket:
 
 
 class _Request:
-    __slots__ = ("request_id", "aig", "options", "enqueued", "ticket")
+    __slots__ = ("request_id", "aig", "options", "enqueued", "ticket",
+                 "deadline", "deadline_ms")
 
-    def __init__(self, request_id, aig, options, enqueued, ticket) -> None:
+    def __init__(self, request_id, aig, options, enqueued, ticket,
+                 deadline=None, deadline_ms=None) -> None:
         self.request_id = request_id
         self.aig = aig
         self.options = options
         self.enqueued = enqueued
         self.ticket = ticket
+        self.deadline = deadline  # absolute monotonic, None = no deadline
+        self.deadline_ms = deadline_ms  # the caller's original budget
 
 
 def _safe_component(request_id: str) -> str:
@@ -217,18 +225,23 @@ class MicroBatchScheduler:
         self._thread: threading.Thread | None = None
         self._stopping = False
         self._counter = 0
+        # Stamped by the loop thread each iteration and after each batch;
+        # the Watchdog reads it through heartbeat_age().
+        self._heartbeat = time.monotonic()
 
         # Counters (mutated under _cond, snapshot by stats()).
         self.accepted = 0
         self.rejected = 0
         self.completed = 0
         self.failed = 0
+        self.expired = 0  # deadlines that lapsed before dispatch
         self.batches = 0
         self.coalesced_batches = 0  # micro-batches with > 1 request
         self.max_coalesced = 0  # largest micro-batch dispatched
         self.result_hits = 0  # requests served from the warm result LRU
         self.num_shards = 0  # forward passes across all batches
         self.streamed_requests = 0  # requests run via the windowed pass
+        self.degraded_requests = 0  # served by the OOM streamed fallback
         self.stats_write_errors = 0  # run-dir stats.json writes that failed
 
     # ------------------------------------------------------------------
@@ -292,15 +305,26 @@ class MicroBatchScheduler:
 
     def submit_async(self, circuit, request_id: str | None = None, *,
                      root_filter: bool = False, correct_lsb: bool = True,
-                     lsb_outputs: int = 4,
-                     engine: str = "fast") -> RequestTicket:
+                     lsb_outputs: int = 4, engine: str = "fast",
+                     deadline_ms: float | None = None) -> RequestTicket:
         """Enqueue one circuit; returns a :class:`RequestTicket` at once.
 
-        Raises :class:`QueueFullError` (retriable) when the queue is at
-        ``max_queue_depth`` and :class:`SchedulerClosedError` after
-        :meth:`stop`.
+        ``deadline_ms`` is the caller's total patience, counted from now:
+        if the request is still queued when the scheduler pops it past
+        that point, it fails with a retriable
+        :class:`~repro.serve.resilience.DeadlineExceededError` *without*
+        dispatching a forward pass — a caller that gave up never burns
+        compute.  Raises :class:`QueueFullError` (retriable) when the
+        queue is at ``max_queue_depth`` and :class:`SchedulerClosedError`
+        after :meth:`stop`.
         """
         aig = _as_aig(circuit)
+        if deadline_ms is not None:
+            deadline_ms = float(deadline_ms)
+            if deadline_ms <= 0:
+                raise ValueError(
+                    f"deadline_ms must be > 0, got {deadline_ms}"
+                )
         options = (bool(root_filter), bool(correct_lsb), int(lsb_outputs),
                    str(engine))
         with self._cond:
@@ -312,8 +336,12 @@ class MicroBatchScheduler:
             self._counter += 1
             rid = request_id if request_id else f"r{self._counter:06d}"
             ticket = RequestTicket(rid)
+            now = time.monotonic()
+            deadline = (now + deadline_ms / 1000.0
+                        if deadline_ms is not None else None)
             self._queue.append(
-                _Request(rid, aig, options, time.monotonic(), ticket)
+                _Request(rid, aig, options, now, ticket, deadline,
+                         deadline_ms)
             )
             self.accepted += 1
             self._cond.notify_all()
@@ -330,6 +358,7 @@ class MicroBatchScheduler:
     def _loop(self) -> None:
         while True:
             with self._cond:
+                self._heartbeat = time.monotonic()
                 while not self._queue and not self._stopping:
                     self._cond.wait()
                 if not self._queue:
@@ -349,6 +378,29 @@ class MicroBatchScheduler:
                 take = min(len(self._queue), self.max_batch)
                 batch = [self._queue.popleft() for _ in range(take)]
             self._execute(batch)
+            with self._cond:
+                self._heartbeat = time.monotonic()
+
+    def heartbeat_age(self) -> float:
+        """Seconds since the scheduler loop last proved itself alive."""
+        with self._cond:
+            return time.monotonic() - self._heartbeat
+
+    def fail_pending(self, error: BaseException) -> int:
+        """Fail every *queued* (not yet dispatched) request with ``error``.
+
+        The watchdog's lever: an in-flight batch cannot be interrupted,
+        but everything still waiting behind it gets a typed answer now
+        instead of an unbounded hang.  Returns how many tickets failed.
+        The scheduler keeps accepting and executing afterwards.
+        """
+        with self._cond:
+            drained = list(self._queue)
+            self._queue.clear()
+            self.failed += len(drained)
+        for request in drained:
+            request.ticket._fail(error)
+        return len(drained)
 
     def _execute(self, batch: list[_Request]) -> None:
         popped_at = time.monotonic()
@@ -358,12 +410,38 @@ class MicroBatchScheduler:
             if len(batch) > 1:
                 self.coalesced_batches += 1
             self.max_coalesced = max(self.max_coalesced, len(batch))
+        # Deadline check happens here, at dequeue: an expired request is
+        # failed before its group forms, so it never contributes to a
+        # reason_many call — the forward-pass counter provably does not
+        # move for callers that already gave up.
+        live: list[_Request] = []
+        expired: list[_Request] = []
+        for request in batch:
+            if request.deadline is not None and popped_at > request.deadline:
+                expired.append(request)
+            else:
+                live.append(request)
+        if expired:
+            with self._cond:
+                self.expired += len(expired)
+                self.failed += len(expired)
+            for request in expired:
+                request.ticket._fail(DeadlineExceededError(
+                    request.request_id, popped_at - request.enqueued,
+                    request.deadline_ms,
+                ))
+        if not live:
+            return
+        batch = live
         groups: dict[tuple, list[_Request]] = {}
         for request in batch:
             groups.setdefault(request.options, []).append(request)
         for options, group in groups.items():
             root_filter, correct_lsb, lsb_outputs, engine = options
             try:
+                # Chaos hook: a sleep-kind rule here models a slow batch
+                # stage; a raise-kind one fails the group, not the loop.
+                resilience.fire("scheduler.execute")
                 with Timer() as timer:
                     result = self.service.reason_many(
                         [request.aig for request in group],
@@ -380,10 +458,12 @@ class MicroBatchScheduler:
             batch_stats = dict(vars(result.stats))
             hits = 0
             streamed = 0
+            degraded = 0
             for request, outcome in zip(group, result):
                 hit = outcome.shard_index is None
                 hits += hit
                 streamed += outcome.streamed
+                degraded += outcome.degraded
                 stats = RequestStats(
                     request_id=request.request_id,
                     batch_id=batch_id,
@@ -394,8 +474,10 @@ class MicroBatchScheduler:
                     shard_index=outcome.shard_index,
                     result_hit=hit,
                     streamed=outcome.streamed,
+                    degraded=outcome.degraded,
                     kernel_backend=active_backend(),
                     queue_wait_seconds=popped_at - request.enqueued,
+                    deadline_ms=request.deadline_ms,
                     service_seconds=timer.elapsed,
                     total_seconds=time.monotonic() - request.enqueued,
                     batch_stats=batch_stats,
@@ -407,6 +489,7 @@ class MicroBatchScheduler:
                 self.result_hits += hits
                 self.num_shards += result.stats.num_shards
                 self.streamed_requests += streamed
+                self.degraded_requests += degraded
 
     def _write_stats(self, stats: RequestStats) -> None:
         """Spill one request's stats.json; never fails the request."""
@@ -432,13 +515,16 @@ class MicroBatchScheduler:
                 "rejected": self.rejected,
                 "completed": self.completed,
                 "failed": self.failed,
+                "expired": self.expired,
                 "batches": self.batches,
                 "coalesced_batches": self.coalesced_batches,
                 "max_coalesced": self.max_coalesced,
                 "result_hits": self.result_hits,
                 "num_shards": self.num_shards,
                 "streamed_requests": self.streamed_requests,
+                "degraded_requests": self.degraded_requests,
                 "stats_write_errors": self.stats_write_errors,
+                "heartbeat_age_seconds": time.monotonic() - self._heartbeat,
                 "batch_window_ms": self.batch_window_seconds * 1000.0,
                 "max_batch": self.max_batch,
                 "max_queue_depth": self.max_queue_depth,

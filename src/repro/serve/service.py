@@ -100,6 +100,7 @@ from repro.aig.graph import AIG
 from repro.core.api import Gamora, ReasoningOutcome, _as_aig
 from repro.learn.data import GraphData, batch_graphs, build_graph_data, unbatch_predictions
 from repro.reasoning.wordlevel import analyze_adder_trees
+from repro.serve import resilience
 from repro.serve.cache import StructuralHashCache, exact_fingerprint
 from repro.serve.sharding import ShardPlan, plan_shards
 from repro.serve.workers import PostprocessPool
@@ -140,6 +141,7 @@ class BatchStats:
     streamed_graphs: int = 0  # oversize circuits run window-by-window
     num_windows: int = 0  # streaming windows executed, summed over shards
     peak_window_bytes: int = 0  # largest estimated window footprint
+    degraded_shards: int = 0  # full-graph passes that OOMed and re-ran windowed
     postprocess_workers: int = 0  # effective worker processes (0: in-process)
     postprocess_fallbacks: int = 0  # worker failures recovered in-process
     postprocess_restarts: int = 0  # broken executors replaced mid-batch
@@ -497,6 +499,7 @@ class ReasoningService:
         infer_shares: list[float] = [0.0] * len(datas)
         shard_of: list[int] = [0] * len(datas)  # shard ordinal per circuit
         streamed_of: list[bool] = [False] * len(datas)  # ran windowed?
+        degraded_of: list[bool] = [False] * len(datas)  # OOM fallback?
 
         # Workload hints for auto-sizing (postprocess_workers=None): one
         # worker per unique circuit, in-process when the batch is tiny.
@@ -517,26 +520,47 @@ class ReasoningService:
                 stats.num_nodes += merged.num_nodes
                 stats.num_edges += merged.num_edges
 
+                shard_degraded = False
+                window_plan = shard.window_plan
                 with Timer() as infer_timer:
-                    if shard.window_plan is not None:
-                        # Oversize circuit admitted as a streaming job:
-                        # window-by-window pass, bit-identical labels,
-                        # peak activation memory bounded by the plan.
+                    try:
+                        resilience.fire("infer.forward")  # chaos: OOM here
+                        if window_plan is not None:
+                            # Oversize circuit admitted as a streaming job:
+                            # window-by-window pass, bit-identical labels,
+                            # peak activation memory bounded by the plan.
+                            merged_labels = kernel.predict_streamed(
+                                merged.features, merged.adjacency,
+                                window_plan,
+                            )
+                        else:
+                            merged_labels = kernel.predict(
+                                merged.features, merged.adjacency
+                            )
+                    except MemoryError:
+                        if window_plan is not None:
+                            # Already at the bottom of the degradation
+                            # ladder (full -> streamed -> error): the
+                            # windowed pass itself could not fit.
+                            raise
+                        # Degrade, don't die: re-run the same shard
+                        # level-windowed at half its estimated footprint.
+                        # Labels are bit-identical to the full pass.
+                        window_plan = merged.window_plan(
+                            max(shard.estimated_bytes // 2, 1), kernel
+                        )
                         merged_labels = kernel.predict_streamed(
-                            merged.features, merged.adjacency,
-                            shard.window_plan,
+                            merged.features, merged.adjacency, window_plan
                         )
-                    else:
-                        merged_labels = kernel.predict(
-                            merged.features, merged.adjacency
-                        )
+                        shard_degraded = True
+                        stats.degraded_shards += 1
                 stats.inference_seconds += infer_timer.elapsed
-                if shard.window_plan is not None:
+                if window_plan is not None:
                     stats.streamed_graphs += len(shard.indices)
-                    stats.num_windows += shard.window_plan.num_windows
+                    stats.num_windows += window_plan.num_windows
                     stats.peak_window_bytes = max(
                         stats.peak_window_bytes,
-                        shard.window_plan.peak_window_bytes,
+                        window_plan.peak_window_bytes,
                     )
                 shard_labels = unbatch_predictions(
                     merged_labels, [d.num_nodes for d in shard_datas]
@@ -548,7 +572,8 @@ class ReasoningService:
                     per_labels[data_index] = labels
                     infer_shares[data_index] = share
                     shard_of[data_index] = shard_index
-                    streamed_of[data_index] = shard.window_plan is not None
+                    streamed_of[data_index] = window_plan is not None
+                    degraded_of[data_index] = shard_degraded
                     handles[data_index] = pool.submit(
                         aigs[pending[keys[data_index]][0]], labels,
                         root_filter, correct_lsb, lsb_outputs, engine,
@@ -609,6 +634,7 @@ class ReasoningService:
                         report=outcome_report,
                         shard_index=shard_of[data_index],
                         streamed=streamed_of[data_index],
+                        degraded=degraded_of[data_index],
                     )
             stats.postprocess_fallbacks = pool.fallbacks
             stats.postprocess_restarts = pool.restarts

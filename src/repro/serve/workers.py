@@ -45,6 +45,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.core.postprocess import PredictedExtraction, extract_from_predictions
+from repro.serve import resilience
 from repro.utils.timing import Timer
 
 __all__ = ["PostprocessPool", "fork_available", "resolve_workers",
@@ -62,12 +63,15 @@ AUTO_MIN_TOTAL_ANDS = 20_000
 # cgroup OOM-killing every fork) must not restart forever either.
 MAX_EXECUTOR_RESTARTS = 3
 
-# Test hook: when this environment variable is set, the *worker-side* task
-# fails before extracting — raising for any value, or dying outright
-# (``os._exit``) for the value "exit" — exercising the parent's in-process
-# fallback for both soft and hard worker failures.  Only the worker checks
-# it; the fallback path calls extract_from_predictions directly and is
-# unaffected.
+# Legacy test hook, kept as a shim over the general fault framework: when
+# this environment variable is set (and no ``REPRO_FAULT_PLAN`` is), the
+# *worker-side* task fails before extracting — dying outright (``os._exit``)
+# for the value "exit", raising for any other value — exercising the
+# parent's in-process fallback for both soft and hard worker failures.
+# New code should arm a :class:`~repro.serve.resilience.FaultPlan` with a
+# ``postprocess.worker`` rule instead; only the worker hits the point, so
+# the fallback path (which calls extract_from_predictions directly) is
+# unaffected either way.
 FAULT_ENV = "REPRO_SERVE_POSTPROCESS_FAULT"
 
 
@@ -116,11 +120,14 @@ def _run_extraction(payload) -> tuple[PredictedExtraction, float]:
 
 
 def _worker_task(payload) -> tuple[PredictedExtraction, float]:
-    fault = os.environ.get(FAULT_ENV)
-    if fault == "exit":
-        os._exit(1)  # simulate an OOM-kill / segfault (test hook)
-    if fault:
-        raise RuntimeError("injected post-processing fault (test hook)")
+    resilience.fire("postprocess.worker")  # exit kind: OOM-kill / segfault
+    if resilience.active_plan() is None:
+        # Legacy FAULT_ENV shim: honored only when no plan is armed.
+        fault = os.environ.get(FAULT_ENV)
+        if fault == "exit":
+            os._exit(1)  # simulate an OOM-kill / segfault (test hook)
+        if fault:
+            raise RuntimeError("injected post-processing fault (test hook)")
     return _run_extraction(payload)
 
 
